@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestBuildDataset(t *testing.T) {
+	cases := []struct {
+		kind         string
+		n, d         int
+		wantN, wantD int
+	}{
+		{"indep", 50, 3, 50, 3},
+		{"corr", 50, 3, 50, 3},
+		{"anti", 50, 3, 50, 3},
+		{"quarter", 50, 2, 50, 2},
+		{"island", 50, 0, 50, 2},
+		{"nba", 50, 0, 50, 5},
+		{"weather", 50, 0, 50, 4},
+	}
+	for _, tc := range cases {
+		ds, err := buildDataset(tc.kind, 1, tc.n, tc.d)
+		if err != nil {
+			t.Errorf("%s: %v", tc.kind, err)
+			continue
+		}
+		if ds.N() != tc.wantN || ds.Dim() != tc.wantD {
+			t.Errorf("%s: got %dx%d, want %dx%d", tc.kind, ds.N(), ds.Dim(), tc.wantN, tc.wantD)
+		}
+	}
+	if _, err := buildDataset("nope", 1, 10, 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	a, err := buildDataset("anti", 42, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildDataset("anti", 42, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.Dim(); j++ {
+			if a.Value(i, j) != b.Value(i, j) {
+				t.Fatalf("same seed differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

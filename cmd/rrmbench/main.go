@@ -1,0 +1,86 @@
+// Command rrmbench regenerates the tables and figures of the paper's
+// evaluation (Section VI). Each figure is identified by its paper number;
+// -list shows them all. The default "ci" scale uses laptop-friendly sizes;
+// -scale paper uses the paper's axis ranges (expect long runtimes).
+//
+// Examples:
+//
+//	rrmbench -list
+//	rrmbench -fig fig13
+//	rrmbench -fig all -scale ci
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rankregret/rankregret/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "", "figure id (e.g. fig13, table1) or 'all'")
+		list   = flag.Bool("list", false, "list available figures and exit")
+		scale  = flag.String("scale", "ci", "ci (laptop sizes) or paper (paper's axis ranges)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "ci":
+		sc = bench.CIScale
+	case "paper":
+		sc = bench.PaperScale
+	default:
+		return fmt.Errorf("unknown scale %q (want ci or paper)", *scale)
+	}
+
+	if *list {
+		for _, id := range bench.IDs(sc) {
+			spec, _ := bench.Lookup(id, sc)
+			fmt.Printf("%-8s %s\n", id, spec.Title)
+		}
+		return nil
+	}
+	if *fig == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -fig (use -list to see options)")
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.IDs(sc)
+	}
+	for _, id := range ids {
+		spec, ok := bench.Lookup(id, sc)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (use -list)", id)
+		}
+		rows := bench.Run(spec, sc, *seed)
+		if *format == "csv" {
+			if err := bench.WriteCSV(os.Stdout, rows); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("== %s: %s (scale=%s) ==\n", spec.ID, spec.Title, sc.Name)
+		if err := bench.WriteTable(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

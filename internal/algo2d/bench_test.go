@@ -1,0 +1,54 @@
+package algo2d
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func BenchmarkTwoDRRM(b *testing.B) {
+	for _, wl := range []string{"indep", "anti"} {
+		for _, n := range []int{1000, 5000} {
+			ds, _ := dataset.Synthetic(wl, xrand.New(1), n, 2)
+			b.Run(fmt.Sprintf("%s/n=%d", wl, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := TwoDRRM(ds, 5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTwoDRRRBaseline(b *testing.B) {
+	for _, wl := range []string{"indep", "anti"} {
+		ds, _ := dataset.Synthetic(wl, xrand.New(1), 5000, 2)
+		b.Run(wl, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TwoDRRRBaselineForRRM(ds, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExactRankRegret(b *testing.B) {
+	ds := dataset.Anticorrelated(xrand.New(1), 5000, 2)
+	res, err := TwoDRRM(ds, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactRankRegret(ds, res.IDs, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

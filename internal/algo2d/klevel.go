@@ -1,0 +1,99 @@
+package algo2d
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/sweep"
+)
+
+// LevelSegment is one piece of a k-level: over x in [X0, X1) of dual space,
+// the tuple Line holds rank exactly k.
+type LevelSegment struct {
+	X0, X1 float64
+	Line   int
+}
+
+// KLevel2D computes the k-level of the dual line arrangement: the
+// piecewise description of which tuple is ranked exactly k as the utility
+// vector sweeps x in [0, 1]. This is the "top-k rank contour" that Chester
+// et al. precompute for kRMS; the paper's 2DRRM avoids needing it, so this
+// implementation exists as analysis substrate (e.g. the number of segments
+// is the k-level complexity that drives MDRRR's cost) and as an oracle for
+// validating rank computations.
+func KLevel2D(ds *dataset.Dataset, k int) ([]LevelSegment, error) {
+	n := ds.N()
+	if ds.Dim() != 2 {
+		return nil, fmt.Errorf("algo2d: KLevel2D needs d=2, got %d", ds.Dim())
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("algo2d: k=%d out of range [1, %d]", k, n)
+	}
+	lines := Lines(ds)
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := lines[order[a]], lines[order[b]]
+		ya, yb := la.Eval(0), lb.Eval(0)
+		if ya != yb {
+			return ya > yb
+		}
+		return la.Slope > lb.Slope
+	})
+	pos := make([]int, n)
+	for p, id := range order {
+		pos[id] = p
+	}
+
+	var segs []LevelSegment
+	cur := order[k-1]
+	start := 0.0
+	sweep.NeighborSweep(lines, 0, 1, func(x float64, up, down int) {
+		pu, pd := pos[up], pos[down]
+		if pu+1 != pd {
+			panic("algo2d: k-level sweep mirror out of sync")
+		}
+		order[pu], order[pd] = down, up
+		pos[up], pos[down] = pd, pu
+		if next := order[k-1]; next != cur {
+			segs = append(segs, LevelSegment{X0: start, X1: x, Line: cur})
+			cur = next
+			start = x
+		}
+	})
+	segs = append(segs, LevelSegment{X0: start, X1: 1, Line: cur})
+	return segs, nil
+}
+
+// KLevelComplexity2D returns the number of segments of the k-level — the
+// arrangement complexity term in MDRRR's running time.
+func KLevelComplexity2D(ds *dataset.Dataset, k int) (int, error) {
+	segs, err := KLevel2D(ds, k)
+	if err != nil {
+		return 0, err
+	}
+	return len(segs), nil
+}
+
+// RankAt returns the tuple ranked exactly k for the utility vector
+// (x, 1-x), resolved from a precomputed k-level by binary search — an O(log
+// s) oracle once the level is built.
+func RankAt(segs []LevelSegment, x float64) (int, bool) {
+	if len(segs) == 0 || x < segs[0].X0 || x > segs[len(segs)-1].X1 {
+		return 0, false
+	}
+	lo, hi := 0, len(segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].X1 <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return segs[lo].Line, true
+}

@@ -1,0 +1,149 @@
+package algo2d
+
+import (
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/topk"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func TestKLevel2DValidation(t *testing.T) {
+	ds := dataset.Independent(xrand.New(1), 20, 2)
+	if _, err := KLevel2D(ds, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KLevel2D(ds, 21); err == nil {
+		t.Error("k>n should fail")
+	}
+	d3 := dataset.Independent(xrand.New(1), 20, 3)
+	if _, err := KLevel2D(d3, 1); err == nil {
+		t.Error("d=3 should fail")
+	}
+}
+
+func TestKLevel2DSegmentsContiguous(t *testing.T) {
+	ds := dataset.Anticorrelated(xrand.New(3), 200, 2)
+	for _, k := range []int{1, 3, 10} {
+		segs, err := KLevel2D(ds, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segs[0].X0 != 0 || segs[len(segs)-1].X1 != 1 {
+			t.Fatalf("k=%d: level does not span [0,1]: %v .. %v", k, segs[0].X0, segs[len(segs)-1].X1)
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].X0 != segs[i-1].X1 {
+				t.Fatalf("k=%d: gap between segments %d and %d", k, i-1, i)
+			}
+			if segs[i].Line == segs[i-1].Line {
+				t.Fatalf("k=%d: consecutive segments share line %d (not maximal)", k, segs[i].Line)
+			}
+		}
+	}
+}
+
+// TestKLevel2DMatchesRankOracle cross-validates the level against direct
+// rank computation at segment midpoints.
+func TestKLevel2DMatchesRankOracle(t *testing.T) {
+	ds := dataset.Independent(xrand.New(7), 150, 2)
+	for _, k := range []int{1, 2, 7} {
+		segs, err := KLevel2D(ds, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			mid := (s.X0 + s.X1) / 2
+			u := []float64{mid, 1 - mid}
+			if got := topk.Rank(ds, u, s.Line, nil); got != k {
+				t.Fatalf("k=%d: segment [%v,%v) line %d has rank %d at midpoint",
+					k, s.X0, s.X1, s.Line, got)
+			}
+		}
+	}
+}
+
+func TestRankAtBinarySearch(t *testing.T) {
+	ds := dataset.Anticorrelated(xrand.New(11), 120, 2)
+	const k = 5
+	segs, err := KLevel2D(ds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		id, ok := RankAt(segs, x)
+		if !ok {
+			t.Fatalf("RankAt(%v) not found", x)
+		}
+		u := []float64{x, 1 - x}
+		if got := topk.Rank(ds, u, id, nil); got != k {
+			// Exactly at a breakpoint either neighbor is acceptable.
+			atBoundary := false
+			for _, s := range segs {
+				if x == s.X0 || x == s.X1 {
+					atBoundary = true
+					break
+				}
+			}
+			if !atBoundary {
+				t.Fatalf("RankAt(%v) = %d with rank %d, want %d", x, id, got, k)
+			}
+		}
+	}
+	if _, ok := RankAt(nil, 0.5); ok {
+		t.Error("empty level should not resolve")
+	}
+	if _, ok := RankAt(segs, 1.5); ok {
+		t.Error("x outside [0,1] should not resolve")
+	}
+}
+
+// TestKLevelComplexityGrowth pins the quantity that makes k-set methods
+// expensive: level complexity grows with n.
+func TestKLevelComplexityGrowth(t *testing.T) {
+	small := dataset.Anticorrelated(xrand.New(13), 60, 2)
+	large := dataset.Anticorrelated(xrand.New(13), 500, 2)
+	cs, err := KLevelComplexity2D(small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := KLevelComplexity2D(large, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl <= cs {
+		t.Errorf("level complexity did not grow: %d (n=60) vs %d (n=500)", cs, cl)
+	}
+}
+
+// TestKLevelTop1IsUpperEnvelope: the 1-level is the upper envelope, whose
+// lines are exactly the tuples that win for some linear function — the same
+// set KSets2D enumerates at k=1.
+func TestKLevelTop1IsUpperEnvelope(t *testing.T) {
+	ds := dataset.TableI()
+	segs, err := KLevel2D(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromLevel := map[int]bool{}
+	for _, s := range segs {
+		fromLevel[s.Line] = true
+	}
+	sets, err := KSets2D(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSets := map[int]bool{}
+	for _, s := range sets {
+		fromSets[s[0]] = true
+	}
+	if len(fromLevel) != len(fromSets) {
+		t.Fatalf("1-level lines %v vs 1-sets %v", fromLevel, fromSets)
+	}
+	for id := range fromLevel {
+		if !fromSets[id] {
+			t.Errorf("line %d on the envelope but not a 1-set", id)
+		}
+	}
+}

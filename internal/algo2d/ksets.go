@@ -1,0 +1,131 @@
+package algo2d
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/sweep"
+)
+
+// KSets2D enumerates, exactly, every distinct top-k set ("k-set" in the
+// terminology of Asudeh et al. and Edelsbrunner) witnessed by some linear
+// utility function over x in [0, 1] of the 2D dual space. The sweep walks
+// all line crossings in order; the top-k set changes precisely when a
+// crossing swaps the lines ranked k and k+1, so the number of distinct sets
+// is one plus the number of such boundary crossings.
+//
+// The collection is what the paper's MDRRR consumes: a hitting set of all
+// k-sets is exactly a set with rank-regret at most k for every linear
+// function. Runtime is O(n^2 log n) like any full sweep; it exists to make
+// MDRRR exact in 2D and to validate the randomized discovery used in HD.
+func KSets2D(ds *dataset.Dataset, k int) ([][]int, error) {
+	return KSets2DRange(ds, k, 0, 1)
+}
+
+// KSets2DRange is KSets2D restricted to the dual segment x in [c0, c1] —
+// the RRRM setting after "rendering the scene" (Section IV.C) maps a convex
+// utility space to such a segment.
+func KSets2DRange(ds *dataset.Dataset, k int, c0, c1 float64) ([][]int, error) {
+	n := ds.N()
+	if ds.Dim() != 2 {
+		return nil, fmt.Errorf("algo2d: KSets2D needs d=2, got %d", ds.Dim())
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("algo2d: k=%d out of range [1, %d]", k, n)
+	}
+	if c0 < 0 || c1 > 1 || c0 >= c1 {
+		return nil, fmt.Errorf("algo2d: segment [%v, %v] invalid, need 0 <= c0 < c1 <= 1", c0, c1)
+	}
+	lines := Lines(ds)
+
+	// Initial order at x = c0 (ties broken by slope: the line rising
+	// faster is above immediately after c0).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := lines[order[a]], lines[order[b]]
+		ya, yb := la.Eval(c0), lb.Eval(c0)
+		if ya != yb {
+			return ya > yb
+		}
+		return la.Slope > lb.Slope
+	})
+	pos := make([]int, n)
+	for p, id := range order {
+		pos[id] = p
+	}
+
+	seen := map[string]bool{}
+	var out [][]int
+	record := func() {
+		top := make([]int, k)
+		copy(top, order[:k])
+		sort.Ints(top)
+		key := intsKey(top)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, top)
+		}
+	}
+	record()
+
+	sweep.NeighborSweep(lines, c0, c1, func(x float64, up, down int) {
+		pu, pd := pos[up], pos[down]
+		if pu+1 != pd {
+			// NeighborSweep guarantees adjacency; the mirror should agree.
+			panic("algo2d: k-set sweep mirror out of sync")
+		}
+		order[pu], order[pd] = down, up
+		pos[up], pos[down] = pd, pu
+		if pu == k-1 {
+			// The crossing moved a new line into the top k.
+			record()
+		}
+	})
+	return out, nil
+}
+
+// intsKey fingerprints a sorted id list.
+func intsKey(ids []int) string {
+	buf := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(buf)
+}
+
+// KSetCount2D returns the number of distinct k-sets, a quantity whose
+// super-linear growth in n is the reason MDRRR and MDRRRr do not scale
+// (its best known lower bound is n * exp(Omega(sqrt(log k))) for the
+// k-level complexity; Toth 2000).
+func KSetCount2D(ds *dataset.Dataset, k int) (int, error) {
+	sets, err := KSets2D(ds, k)
+	if err != nil {
+		return 0, err
+	}
+	return len(sets), nil
+}
+
+// Lines2DAbove reports, for validation, the ids ranked in the top k at a
+// specific x in dual space (the top-k set of the utility vector (x, 1-x)).
+func Lines2DAbove(ds *dataset.Dataset, x float64, k int) []int {
+	lines := Lines(ds)
+	ids := make([]int, len(lines))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ya, yb := lines[ids[a]].Eval(x), lines[ids[b]].Eval(x)
+		if ya != yb {
+			return ya > yb
+		}
+		return geom.Above(lines[ids[a]], lines[ids[b]], x+1e-9)
+	})
+	top := ids[:k]
+	sort.Ints(top)
+	return top
+}

@@ -1,0 +1,235 @@
+package algo2d
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/skyline"
+	"github.com/rankregret/rankregret/internal/sweep"
+)
+
+// ExactRankRegret computes the exact maximum rank of the tuple set ids over
+// the utility segment [c0, c1] by sweeping the crossings of the members'
+// dual lines against all lines: between crossings ranks are constant, so the
+// maximum of (min over members' ranks) is attained at the segment start or
+// immediately after a crossing.
+func ExactRankRegret(ds *dataset.Dataset, ids []int, c0, c1 float64) (int, error) {
+	if ds.Dim() != 2 {
+		return 0, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
+	}
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("algo2d: empty set has no rank-regret")
+	}
+	lines := Lines(ds)
+	isMember := make([]bool, len(lines))
+	for _, id := range ids {
+		if id < 0 || id >= len(lines) {
+			return 0, fmt.Errorf("algo2d: tuple id %d out of range", id)
+		}
+		isMember[id] = true
+	}
+	cur := sweep.InitialRanks(lines, c0)
+	minRank := func() int {
+		m := math.MaxInt
+		for _, id := range ids {
+			if cur[id] < m {
+				m = cur[id]
+			}
+		}
+		return m
+	}
+	worst := minRank()
+	events := sweep.BuildEvents(lines, isMember, c0, c1)
+	for _, e := range events {
+		if isMember[e.Up] {
+			cur[e.Up]++
+		}
+		if isMember[e.Down] {
+			cur[e.Down]--
+		}
+		if m := minRank(); m > worst {
+			worst = m
+		}
+	}
+	return worst, nil
+}
+
+// TwoDRRRBaseline is the approximation algorithm of Asudeh et al. for the
+// RRR problem in 2D: given threshold k it returns a set of size at most r_k
+// (the optimal size for threshold k) whose rank-regret is at most 2k.
+// Greedy interval cover: from the current position pick, among the tuples
+// ranked <= k there, the one that stays ranked <= 2k the furthest.
+func TwoDRRRBaseline(ds *dataset.Dataset, k int) (Result, error) {
+	if ds.Dim() != 2 {
+		return Result{}, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("algo2d: rank threshold %d, need >= 1", k)
+	}
+	lines := Lines(ds)
+	n := len(lines)
+	if n == 0 {
+		return Result{}, fmt.Errorf("algo2d: empty dataset")
+	}
+
+	// reach returns how far right of x0 tuple t keeps rank <= 2k, given its
+	// rank at x0.
+	reach := func(t int, x0 float64, rankAtX0 int) float64 {
+		type ev struct {
+			x  float64
+			up bool // t goes below (rank increases)
+		}
+		var evs []ev
+		for j := 0; j < n; j++ {
+			if j == t {
+				continue
+			}
+			x, ok := geom.IntersectX(lines[t], lines[j])
+			if !ok || x <= x0 || x > 1 {
+				continue
+			}
+			evs = append(evs, ev{x: x, up: lines[t].Slope < lines[j].Slope})
+		}
+		sort.Slice(evs, func(a, b int) bool { return evs[a].x < evs[b].x })
+		r := rankAtX0
+		for _, e := range evs {
+			if e.up {
+				r++
+				if r > 2*k {
+					return e.x
+				}
+			} else {
+				r--
+			}
+		}
+		return 1
+	}
+
+	var chosen []int
+	picked := make(map[int]bool)
+	x0 := 0.0
+	for {
+		ranks := sweep.InitialRanks(lines, x0)
+		bestT, bestReach := -1, -1.0
+		for t := 0; t < n; t++ {
+			if ranks[t] > k {
+				continue
+			}
+			rr := 1.0
+			if x0 < 1 {
+				rr = reach(t, x0, ranks[t])
+			}
+			if rr > bestReach || (rr == bestReach && picked[t] && !picked[bestT]) {
+				bestT, bestReach = t, rr
+			}
+		}
+		if bestT < 0 {
+			return Result{}, fmt.Errorf("algo2d: internal: no tuple ranked <= %d at x=%v", k, x0)
+		}
+		if !picked[bestT] {
+			picked[bestT] = true
+			chosen = append(chosen, bestT)
+		}
+		if bestReach >= 1 || bestReach <= x0 {
+			break
+		}
+		x0 = bestReach
+	}
+	sort.Ints(chosen)
+	rr, err := ExactRankRegret(ds, chosen, 0, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{IDs: chosen, RankRegret: rr}, nil
+}
+
+// TwoDRRRBaselineForRRM adapts the 2DRRR baseline to the RRM problem by the
+// improved binary search of Section V.B.2: double k until the output fits
+// in r tuples, then binary search (k/2, k]. The returned rank-regret is the
+// exact regret of the chosen set (at most 2k by the baseline's guarantee).
+func TwoDRRRBaselineForRRM(ds *dataset.Dataset, r int) (Result, error) {
+	if r < 1 {
+		return Result{}, fmt.Errorf("algo2d: output size %d, need >= 1", r)
+	}
+	n := ds.N()
+	var fit Result
+	k := 1
+	for {
+		res, err := TwoDRRRBaseline(ds, k)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.IDs) <= r {
+			fit = res
+			break
+		}
+		if k >= n {
+			// Even k = n needs more than r tuples; impossible, since one
+			// tuple always achieves rank n. Defensive only.
+			return res, nil
+		}
+		k *= 2
+		if k > n {
+			k = n
+		}
+	}
+	low, high := k/2+1, k
+	for low < high {
+		mid := (low + high) / 2
+		res, err := TwoDRRRBaseline(ds, mid)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.IDs) <= r {
+			fit = res
+			high = mid
+		} else {
+			low = mid + 1
+		}
+	}
+	return fit, nil
+}
+
+// TwoDRRRExactRestricted solves the dual RRR problem exactly under a
+// restricted utility space (the RRRM analogue of TwoDRRRExact): the
+// minimum-size set whose rank-regret over the rendered segment of the space
+// is at most k. ok is false when even the full U-skyline cannot achieve k.
+func TwoDRRRExactRestricted(ds *dataset.Dataset, k int, space funcspace.Space) (res Result, ok bool, err error) {
+	if ds.Dim() != 2 {
+		return Result{}, false, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
+	}
+	if k < 1 {
+		return Result{}, false, fmt.Errorf("algo2d: rank threshold %d, need >= 1", k)
+	}
+	c0, c1, err := funcspace.Render2D(space)
+	if err != nil {
+		return Result{}, false, err
+	}
+	cand, err := skyline.ComputeRestricted(ds, space)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if len(cand) == 0 {
+		return Result{}, false, fmt.Errorf("algo2d: no candidate tuples (empty U-skyline)")
+	}
+	lines := Lines(ds)
+	for r := 4; ; r *= 2 {
+		if r > len(cand) {
+			r = len(cand)
+		}
+		bestRank, bestChain := runDP(lines, cand, c0, c1, r)
+		for h := 1; h < len(bestRank); h++ {
+			if bestRank[h] <= k {
+				chain := bestChain[h].collect()
+				return Result{IDs: uniqueSorted(chain), RankRegret: bestRank[h]}, true, nil
+			}
+		}
+		if r == len(cand) {
+			return Result{}, false, nil
+		}
+	}
+}

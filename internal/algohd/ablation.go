@@ -1,0 +1,93 @@
+package algohd
+
+import (
+	"fmt"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// Variant switches off individual ingredients of HDRRM for ablation
+// studies. The zero value is the full algorithm. Each field removes one
+// design choice DESIGN.md calls out:
+//
+//   - NoBasis drops the forced inclusion of the boundary tuples B. The
+//     output may use all r slots for coverage, but Theorem 7's worst-case
+//     utility guarantee no longer holds: a direction dominated by a single
+//     attribute can be left with an arbitrarily bad rank.
+//   - NoGrid drops Db (the deterministic polar grid), keeping only the
+//     sampled Da. Theorem 7's deterministic closeness argument is lost;
+//     only the probabilistic Theorem 6 remains.
+//   - NoSamples drops Da, keeping only the polar grid Db. Theorem 6's
+//     distributional guarantee is lost; between grid directions the rank
+//     can degrade, especially for large n where ranks change quickly.
+type Variant struct {
+	NoBasis   bool
+	NoGrid    bool
+	NoSamples bool
+}
+
+// Name returns a short identifier for benchmark labels.
+func (v Variant) Name() string {
+	switch {
+	case v == (Variant{}):
+		return "full"
+	case v.NoBasis && !v.NoGrid && !v.NoSamples:
+		return "no-basis"
+	case v.NoGrid && !v.NoBasis && !v.NoSamples:
+		return "no-grid"
+	case v.NoSamples && !v.NoBasis && !v.NoGrid:
+		return "no-samples"
+	default:
+		return fmt.Sprintf("basis=%v grid=%v samples=%v", !v.NoBasis, !v.NoGrid, !v.NoSamples)
+	}
+}
+
+// HDRRMVariant runs HDRRM with the given ingredients removed. It is meant
+// for ablation benchmarks; library users should call HDRRM.
+func HDRRMVariant(ds *dataset.Dataset, r int, opts Options, v Variant) (Result, error) {
+	n, d := ds.N(), ds.Dim()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
+	}
+	if v.NoGrid && v.NoSamples {
+		return Result{}, fmt.Errorf("algohd: ablation removed both Da and Db; nothing left to cover")
+	}
+	gamma := opts.Gamma
+	if gamma < 1 {
+		gamma = 6
+	}
+	space := opts.space(d)
+	rng := xrand.New(opts.Seed)
+	m := opts.sampleSize(n, d, r)
+	if v.NoSamples {
+		m = 0
+	}
+	effGamma := gamma
+	if v.NoGrid {
+		effGamma = 1 // the minimal grid: axis directions only...
+	}
+	vs, err := BuildVecSetSampled(ds, space, effGamma, m, rng, opts.Sampler)
+	if err != nil {
+		return Result{}, err
+	}
+	if v.NoGrid {
+		// ...which we then drop, keeping only Da.
+		if vs.GridCount >= len(vs.Vecs) {
+			return Result{}, fmt.Errorf("algohd: no-grid ablation left an empty vector set")
+		}
+		vs = &VecSet{ds: ds, Vecs: vs.Vecs[vs.GridCount:], GridCount: 0}
+	}
+	var basis []int
+	if !v.NoBasis {
+		basis = uniqueInts(ds.Basis())
+		if len(basis) > r {
+			return Result{}, fmt.Errorf("algohd: budget r=%d smaller than basis size %d (need r >= d)", r, len(basis))
+		}
+	}
+	ids, bestK := searchSmallestK(ds, r, basis, vs)
+	return Result{IDs: ids, K: bestK, VecCount: vs.Len()}, nil
+}

@@ -1,0 +1,263 @@
+package algohd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/setcover"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func logE(x float64) float64 { return math.Log(x) }
+
+// Options configures the HD solvers. The zero value is not usable; call
+// DefaultOptions.
+type Options struct {
+	// Gamma is the polar-grid discretization parameter (paper default 6).
+	Gamma int
+	// Delta is the error probability of Theorem 10 (paper default 0.03).
+	// It determines the sample size m unless M is set.
+	Delta float64
+	// M overrides the sample count for Da (0 = use the Theorem 10 formula).
+	M int
+	// MaxM caps the Theorem 10 formula (0 = uncapped). The repository
+	// default keeps laptop runs tractable; see DESIGN.md.
+	MaxM int
+	// Seed drives all randomness.
+	Seed int64
+	// Space restricts the utility space (nil = the full orthant, RRM).
+	Space funcspace.Space
+	// Sampler overrides the distribution Da is drawn from (nil = uniform
+	// on the space): the paper's Section V.C generalization to non-uniform
+	// user preference distributions. See GaussianPreference and
+	// MixturePreference.
+	Sampler Sampler
+}
+
+// DefaultOptions returns the paper's default parameters with the
+// repository's laptop-scale sample cap.
+func DefaultOptions() Options {
+	return Options{Gamma: 6, Delta: 0.03, MaxM: 50000, Seed: 1}
+}
+
+// Result is the output of an HD solve.
+type Result struct {
+	// IDs are the chosen tuple ids, ascending.
+	IDs []int
+	// K is the solver's internal rank threshold: for HDRRM the smallest k
+	// for which ASMS fit the budget, i.e. the guaranteed rank-regret with
+	// respect to the discrete set D (the "red cross" line in the paper's
+	// figures). Baselines report their own analogue or 0.
+	K int
+	// VecCount is |D|, for diagnostics.
+	VecCount int
+}
+
+// space returns the effective utility space.
+func (o Options) space(d int) funcspace.Space {
+	if o.Space != nil {
+		return o.Space
+	}
+	return funcspace.NewFull(d)
+}
+
+func (o Options) sampleSize(n, d, r int) int {
+	if o.M > 0 {
+		return o.M
+	}
+	delta := o.Delta
+	if delta <= 0 {
+		delta = 0.03
+	}
+	return SampleSizeTheorem10(n, d, r, delta, o.MaxM)
+}
+
+// uniqueInts sorts and deduplicates.
+func uniqueInts(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	prev := -1
+	for _, id := range ids {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}
+
+// ASMS is the paper's Algorithm 2: the approximate solver for the MS
+// problem. Given the threshold k it returns a superset Q of the basis B
+// whose rank-regret with respect to the discrete vector set D is at most k,
+// with |Q| <= (1 + ln|D|)·r* + d (Theorem 9).
+func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
+	vs.EnsureTopK(k)
+	inBasis := make(map[int]bool, len(basis))
+	for _, b := range basis {
+		inBasis[b] = true
+	}
+	// Dk: vectors not covered by the basis; VDk(t): vectors covered by t.
+	var dk []int // indices into vs.Vecs
+	coverOf := make(map[int][]int)
+	for v := 0; v < vs.Len(); v++ {
+		top := vs.Top(v, k)
+		covered := false
+		for _, t := range top {
+			if inBasis[t] {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		u := len(dk)
+		dk = append(dk, v)
+		for _, t := range top {
+			coverOf[t] = append(coverOf[t], u)
+		}
+	}
+	if len(dk) == 0 {
+		return uniqueInts(append([]int(nil), basis...))
+	}
+	// Set cover over the universe Dk.
+	tuples := make([]int, 0, len(coverOf))
+	sets := make([][]int, 0, len(coverOf))
+	for t, vset := range coverOf {
+		tuples = append(tuples, t)
+		sets = append(sets, vset)
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	ord := make([]int, len(tuples))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return tuples[ord[a]] < tuples[ord[b]] })
+	sortedTuples := make([]int, len(ord))
+	sortedSets := make([][]int, len(ord))
+	for i, o := range ord {
+		sortedTuples[i] = tuples[o]
+		sortedSets[i] = sets[o]
+	}
+	chosen, ok := setcover.Greedy(len(dk), sortedSets)
+	if !ok {
+		// Cannot happen: every vector's own top-1 tuple covers it.
+		panic("algohd: ASMS universe not coverable")
+	}
+	q := append([]int(nil), basis...)
+	for _, ci := range chosen {
+		q = append(q, sortedTuples[ci])
+	}
+	return uniqueInts(q)
+}
+
+// HDRRM is the paper's Algorithm 3: it returns a set of at most r tuples
+// whose rank-regret w.r.t. the discretized function space D is the smallest
+// threshold ASMS can fit into the budget — a double approximation of the RRM
+// optimum (Theorem 10). With Options.Space set it solves RRRM instead
+// (Section V.C): Da is sampled from U and Db keeps only directions whose ray
+// meets U.
+func HDRRM(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	n, d := ds.N(), ds.Dim()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
+	}
+	gamma := opts.Gamma
+	if gamma < 1 {
+		gamma = 6
+	}
+	space := opts.space(d)
+	rng := xrand.New(opts.Seed)
+	m := opts.sampleSize(n, d, r)
+	vs, err := BuildVecSetSampled(ds, space, gamma, m, rng, opts.Sampler)
+	if err != nil {
+		return Result{}, err
+	}
+	basis := uniqueInts(ds.Basis())
+	if len(basis) > r {
+		return Result{}, fmt.Errorf("algohd: budget r=%d smaller than basis size %d (need r >= d)", r, len(basis))
+	}
+	ids, bestK := searchSmallestK(ds, r, basis, vs)
+	return Result{IDs: ids, K: bestK, VecCount: vs.Len()}, nil
+}
+
+// searchSmallestK is the improved binary search of Section V.B.2: double k
+// until ASMS fits the budget, then binary search (k/2, k]. It returns the
+// fitting set and the smallest fitting threshold.
+func searchSmallestK(ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int, int) {
+	n := ds.N()
+	var fit []int
+	k := 1
+	for {
+		q := ASMS(ds, k, basis, vs)
+		if len(q) <= r {
+			fit = q
+			break
+		}
+		if k >= n {
+			// Defensive: at k = n every vector is covered by any tuple, so
+			// ASMS returns the basis which fits (checked by the caller).
+			fit = q
+			break
+		}
+		k *= 2
+		if k > n {
+			k = n
+		}
+	}
+	low, high := k/2+1, k
+	bestK := k
+	for low < high {
+		mid := (low + high) / 2
+		q := ASMS(ds, mid, basis, vs)
+		if len(q) <= r {
+			fit = q
+			bestK = mid
+			high = mid
+		} else {
+			low = mid + 1
+		}
+	}
+	return fit, bestK
+}
+
+// HDRRR solves the dual rank-regret representative problem in HD: given a
+// threshold k, it runs a single ASMS call and returns the (1 + ln|D|)-size-
+// approximate minimum superset of the basis with rank-regret at most k for
+// the discretized space D (Theorem 9). Result.K echoes k.
+func HDRRR(ds *dataset.Dataset, k int, opts Options) (Result, error) {
+	n, d := ds.N(), ds.Dim()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("algohd: threshold k=%d out of range [1, %d]", k, n)
+	}
+	gamma := opts.Gamma
+	if gamma < 1 {
+		gamma = 6
+	}
+	space := opts.space(d)
+	rng := xrand.New(opts.Seed)
+	m := opts.sampleSize(n, d, n/maxInt(k, 1)+d)
+	vs, err := BuildVecSetSampled(ds, space, gamma, m, rng, opts.Sampler)
+	if err != nil {
+		return Result{}, err
+	}
+	basis := uniqueInts(ds.Basis())
+	q := ASMS(ds, k, basis, vs)
+	return Result{IDs: q, K: k, VecCount: vs.Len()}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

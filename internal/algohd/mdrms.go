@@ -1,0 +1,211 @@
+package algohd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/setcover"
+	"github.com/rankregret/rankregret/internal/skyline"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// MDRMS reimplements the function-space-discretization RMS algorithm of
+// Asudeh et al. (SIGMOD 2017), the regret-ratio competitor in the paper's
+// HD experiments: over the discretized direction set, tuple t "covers"
+// direction u when w(u,t) >= (1-eps)·w(u,D); a greedy set cover picks the
+// smallest set covering all directions, and a binary search on eps finds the
+// smallest regret threshold whose cover fits the budget r.
+//
+// It minimizes the regret-*ratio*; the paper's point (and our experiments')
+// is that this can leave the rank-regret orders of magnitude worse than
+// HDRRM on clustered utility distributions.
+func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	n, d := ds.N(), ds.Dim()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
+	}
+	gamma := opts.Gamma
+	if gamma < 1 {
+		gamma = 6
+	}
+	space := opts.space(d)
+	rng := xrand.New(opts.Seed)
+	m := opts.M
+	if m <= 0 {
+		m = 2048
+	}
+	vs, err := BuildVecSet(ds, space, gamma, m, rng)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Candidates: skyline tuples (sufficient for regret-ratio minimization).
+	cands := skyline.Compute(ds)
+
+	// Precompute per-direction: best utility in D, and candidate utilities.
+	nv := vs.Len()
+	bestU := make([]float64, nv)
+	candU := make([][]float64, nv)
+	scores := make([]float64, n)
+	for v := 0; v < nv; v++ {
+		u := vs.Vecs[v]
+		scores = ds.Utilities(u, scores)
+		best := math.Inf(-1)
+		for _, s := range scores {
+			if s > best {
+				best = s
+			}
+		}
+		bestU[v] = best
+		cu := make([]float64, len(cands))
+		for ci, t := range cands {
+			cu[ci] = scores[t]
+		}
+		candU[v] = cu
+	}
+
+	solve := func(eps float64) []int {
+		sets := make([][]int, len(cands))
+		for ci := range cands {
+			var covers []int
+			for v := 0; v < nv; v++ {
+				if candU[v][ci] >= (1-eps)*bestU[v] {
+					covers = append(covers, v)
+				}
+			}
+			sets[ci] = covers
+		}
+		chosen, ok := setcover.Greedy(nv, sets)
+		if !ok {
+			return nil // eps too small to cover (numerically)
+		}
+		out := make([]int, 0, len(chosen))
+		for _, ci := range chosen {
+			out = append(out, cands[ci])
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	// Binary search the smallest eps whose cover fits r.
+	lo, hi := 0.0, 1.0
+	var fit []int
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		s := solve(mid)
+		if s != nil && len(s) <= r {
+			fit = s
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if fit == nil {
+		fit = solve(1)
+		if fit == nil {
+			return Result{}, fmt.Errorf("algohd: MDRMS could not cover the direction set")
+		}
+	}
+	return Result{IDs: fit, K: 0, VecCount: nv}, nil
+}
+
+// RMSGreedy is the classic greedy heuristic for regret minimizing sets in
+// the spirit of Nanongkai et al.'s RDP-Greedy: starting from the best tuple
+// for the "average" direction, repeatedly add the candidate that most
+// reduces the maximum regret-ratio over the discretized direction set.
+// Included as an extension for regret-ratio comparisons and ablations.
+func RMSGreedy(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	n, d := ds.N(), ds.Dim()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
+	}
+	gamma := opts.Gamma
+	if gamma < 1 {
+		gamma = 6
+	}
+	space := opts.space(d)
+	rng := xrand.New(opts.Seed)
+	m := opts.M
+	if m <= 0 {
+		m = 1024
+	}
+	vs, err := BuildVecSet(ds, space, gamma, m, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	cands := skyline.Compute(ds)
+	nv := vs.Len()
+	bestU := make([]float64, nv)
+	candU := make([][]float64, nv) // per direction, per candidate
+	scores := make([]float64, n)
+	for v := 0; v < nv; v++ {
+		scores = ds.Utilities(vs.Vecs[v], scores)
+		best := math.Inf(-1)
+		for _, s := range scores {
+			if s > best {
+				best = s
+			}
+		}
+		bestU[v] = best
+		cu := make([]float64, len(cands))
+		for ci, t := range cands {
+			cu[ci] = scores[t]
+		}
+		candU[v] = cu
+	}
+
+	chosen := map[int]bool{}
+	// curBest[v] = best utility among chosen tuples for direction v.
+	curBest := make([]float64, nv)
+	for v := range curBest {
+		curBest[v] = math.Inf(-1)
+	}
+	var out []int
+	for len(out) < r && len(out) < len(cands) {
+		bestCi, bestScore := -1, math.Inf(1)
+		for ci := range cands {
+			if chosen[ci] {
+				continue
+			}
+			// Max regret-ratio if we add candidate ci.
+			worst := 0.0
+			for v := 0; v < nv; v++ {
+				have := curBest[v]
+				if candU[v][ci] > have {
+					have = candU[v][ci]
+				}
+				var ratio float64
+				if bestU[v] > 0 {
+					ratio = (bestU[v] - have) / bestU[v]
+				}
+				if ratio > worst {
+					worst = ratio
+				}
+			}
+			if worst < bestScore {
+				bestScore = worst
+				bestCi = ci
+			}
+		}
+		if bestCi < 0 {
+			break
+		}
+		chosen[bestCi] = true
+		out = append(out, cands[bestCi])
+		for v := 0; v < nv; v++ {
+			if candU[v][bestCi] > curBest[v] {
+				curBest[v] = candU[v][bestCi]
+			}
+		}
+	}
+	sort.Ints(out)
+	return Result{IDs: out, K: 0, VecCount: nv}, nil
+}

@@ -1,0 +1,168 @@
+// Package algohd implements the paper's high-dimensional algorithms:
+// HDRRM (Section V) with its ASMS set-cover solver and improved binary
+// search, and the baselines it is evaluated against — MDRRRr (randomized
+// k-set hitting set), MDRC (function-space partitioning heuristic) and
+// MDRMS (regret-ratio minimization, Asudeh et al. 2017) — plus a classic
+// greedy RMS algorithm for regret-ratio comparisons. All of them are
+// generalized to restricted utility spaces where the paper allows it.
+package algohd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/topk"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// VecSet is the paper's discretized function space D = Da ∪ Db together
+// with lazily-maintained per-vector top-K tuple lists. Db is the polar-grid
+// discretization with parameter gamma (filtered to the restricted space for
+// RRRM); Da is a set of m sampled directions.
+type VecSet struct {
+	ds   *dataset.Dataset
+	Vecs []geom.Vector
+	// GridCount is how many of Vecs came from the deterministic grid Db
+	// (they are first); the rest are samples Da.
+	GridCount int
+
+	mu   sync.Mutex
+	topK int     // current prefix length of the cached lists
+	tops [][]int // per vector: tuple ids, best first, length topK (or n)
+}
+
+// BuildVecSet constructs D for the given space: the polar grid Db
+// (directions whose ray meets the space) plus m sampled directions Da.
+// m may be 0 (grid only). The paper's Theorem 10 sample size is available
+// via SampleSizeTheorem10.
+func BuildVecSet(ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand) (*VecSet, error) {
+	d := ds.Dim()
+	if space == nil {
+		space = funcspace.NewFull(d)
+	}
+	if space.Dim() != d {
+		return nil, fmt.Errorf("algohd: space dim %d, dataset dim %d", space.Dim(), d)
+	}
+	if gamma < 1 {
+		return nil, fmt.Errorf("algohd: gamma %d, need >= 1", gamma)
+	}
+	var vecs []geom.Vector
+	for _, u := range geom.AngleGrid(d, gamma) {
+		if space.ContainsDirection(u) {
+			vecs = append(vecs, u)
+		}
+	}
+	gridCount := len(vecs)
+	for i := 0; i < m; i++ {
+		u := space.Sample(rng)
+		if u == nil {
+			return nil, fmt.Errorf("algohd: sampling from %s failed", space.Name())
+		}
+		vecs = append(vecs, u)
+	}
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("algohd: empty vector set (space %s admits no directions)", space.Name())
+	}
+	return &VecSet{ds: ds, Vecs: vecs, GridCount: gridCount}, nil
+}
+
+// SampleSizeTheorem10 returns the paper's Theorem 10 sample size
+//
+//	m = ((r-d)·ln(n-d) + ln(n-r+1) + ln n) / (2(δ - 1/n)²),
+//
+// clamped to [64, maxM] (maxM <= 0 means no cap). The clamp exists because
+// the formula grows like 1/δ² and the repository's default benchmarks run on
+// laptop-scale budgets; pass maxM = 0 to reproduce the paper exactly.
+func SampleSizeTheorem10(n, d, r int, delta float64, maxM int) int {
+	if n <= d+1 || r <= d {
+		return 64
+	}
+	num := float64(r-d)*ln(float64(n-d)) + ln(float64(n-r+1)) + ln(float64(n))
+	den := delta - 1/float64(n)
+	if den <= 0 {
+		den = delta
+	}
+	m := int(num / (2 * den * den))
+	if m < 64 {
+		m = 64
+	}
+	if maxM > 0 && m > maxM {
+		m = maxM
+	}
+	return m
+}
+
+func ln(x float64) float64 {
+	// Tiny wrapper to keep the formula readable.
+	if x <= 1 {
+		return 0
+	}
+	return logE(x)
+}
+
+// EnsureTopK extends the cached per-vector top lists to at least k entries
+// (clamped to n). Lists are built in parallel across vectors. Amortized over
+// a binary search the total work is O(|D| · n · d + |D| · k log k).
+func (vs *VecSet) EnsureTopK(k int) {
+	n := vs.ds.N()
+	if k > n {
+		k = n
+	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.topK >= k && vs.tops != nil {
+		return
+	}
+	// Grow geometrically so the binary search's shrinking ks are free.
+	target := k
+	if vs.topK > 0 && target < 2*vs.topK {
+		target = 2 * vs.topK
+	}
+	if target > n {
+		target = n
+	}
+	tops := make([][]int, len(vs.Vecs))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(vs.Vecs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(vs.Vecs) {
+			hi = len(vs.Vecs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scores := make([]float64, n)
+			for v := lo; v < hi; v++ {
+				tops[v] = topk.TopK(vs.ds, vs.Vecs[v], target, scores)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	vs.tops = tops
+	vs.topK = target
+}
+
+// Top returns the top-k tuple ids for vector v (best first). It extends the
+// cache if needed.
+func (vs *VecSet) Top(v, k int) []int {
+	if k > vs.ds.N() {
+		k = vs.ds.N()
+	}
+	if vs.topK < k || vs.tops == nil {
+		vs.EnsureTopK(k)
+	}
+	return vs.tops[v][:k]
+}
+
+// Len returns the number of vectors in D.
+func (vs *VecSet) Len() int { return len(vs.Vecs) }

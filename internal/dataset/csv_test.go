@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := TableI()
+	if err := ds.SetAttrs([]string{"A1", "A2"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() {
+		t.Fatalf("round trip shape: %v vs %v", back, ds)
+	}
+	for i := 0; i < ds.N(); i++ {
+		for j := 0; j < ds.Dim(); j++ {
+			if back.Value(i, j) != ds.Value(i, j) {
+				t.Fatalf("round trip value (%d,%d): %v vs %v", i, j, back.Value(i, j), ds.Value(i, j))
+			}
+		}
+	}
+	attrs := back.Attrs()
+	if attrs[0] != "A1" || attrs[1] != "A2" {
+		t.Errorf("round trip attrs: %v", attrs)
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	in := "1,2\n3,4\n"
+	ds, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Value(1, 1) != 4 {
+		t.Fatalf("parsed wrong: %v", ds)
+	}
+}
+
+func TestCSVDefaultHeaderNames(t *testing.T) {
+	ds := MustFromRows([][]float64{{1, 2}})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "A1,A2\n") {
+		t.Errorf("default header wrong: %q", buf.String())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), false); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("h1,h2\n"), true); err == nil {
+		t.Error("header-only input should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n"), false); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), false); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}

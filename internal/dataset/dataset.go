@@ -1,0 +1,289 @@
+// Package dataset provides the tuple-set substrate every algorithm in this
+// repository operates on: a compact row-major float64 matrix with attribute
+// names, min-max normalization (the paper assumes each attribute's range is
+// normalized to [0,1]), value shifting (for the shift-invariance theorems),
+// direction flipping for smaller-is-better attributes, boundary/basis tuples,
+// CSV input/output, the Borzsony-style synthetic workload generators, the
+// adversarial lower-bound construction of Theorem 2, and seeded simulators
+// standing in for the paper's three real datasets (Island, NBA, Weather).
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is an n x d matrix of tuples. Larger attribute values are
+// preferred; callers with smaller-is-better attributes should Negate them
+// first (the paper's convention). The zero value is an empty dataset of
+// dimension 0; use New or FromRows to construct a usable one.
+type Dataset struct {
+	d     int
+	vals  []float64 // row-major, length n*d
+	attrs []string  // length d, may contain empty names
+}
+
+// New returns an empty dataset with dimension d.
+func New(d int) *Dataset {
+	if d < 1 {
+		panic(fmt.Sprintf("dataset: dimension %d < 1", d))
+	}
+	return &Dataset{d: d, attrs: make([]string, d)}
+}
+
+// FromRows builds a dataset from a slice of rows, copying the values.
+// All rows must have the same non-zero length.
+func FromRows(rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: FromRows needs at least one row")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, fmt.Errorf("dataset: rows must have at least one attribute")
+	}
+	ds := New(d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("dataset: row %d has %d attributes, want %d", i, len(r), d)
+		}
+		ds.Append(r)
+	}
+	return ds, nil
+}
+
+// MustFromRows is FromRows for static tables in tests and examples.
+func MustFromRows(rows [][]float64) *Dataset {
+	ds, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// N returns the number of tuples.
+func (ds *Dataset) N() int {
+	if ds.d == 0 {
+		return 0
+	}
+	return len(ds.vals) / ds.d
+}
+
+// Dim returns the number of attributes.
+func (ds *Dataset) Dim() int { return ds.d }
+
+// Row returns tuple i as a slice view into the dataset's storage. Callers
+// must not modify it; copy first if mutation is needed.
+func (ds *Dataset) Row(i int) []float64 {
+	return ds.vals[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
+}
+
+// Value returns attribute j of tuple i.
+func (ds *Dataset) Value(i, j int) float64 { return ds.vals[i*ds.d+j] }
+
+// Append copies row onto the end of the dataset.
+func (ds *Dataset) Append(row []float64) {
+	if len(row) != ds.d {
+		panic(fmt.Sprintf("dataset: Append row of length %d to dimension-%d dataset", len(row), ds.d))
+	}
+	ds.vals = append(ds.vals, row...)
+}
+
+// SetAttrs names the attributes; the slice is copied. Length must match Dim.
+func (ds *Dataset) SetAttrs(names []string) error {
+	if len(names) != ds.d {
+		return fmt.Errorf("dataset: %d attribute names for dimension %d", len(names), ds.d)
+	}
+	copy(ds.attrs, names)
+	return nil
+}
+
+// Attrs returns a copy of the attribute names.
+func (ds *Dataset) Attrs() []string {
+	out := make([]string, ds.d)
+	copy(out, ds.attrs)
+	return out
+}
+
+// Clone returns a deep copy.
+func (ds *Dataset) Clone() *Dataset {
+	out := New(ds.d)
+	out.vals = append([]float64(nil), ds.vals...)
+	copy(out.attrs, ds.attrs)
+	return out
+}
+
+// Subset returns a new dataset containing the given rows (copied) in order.
+func (ds *Dataset) Subset(ids []int) *Dataset {
+	out := New(ds.d)
+	copy(out.attrs, ds.attrs)
+	for _, i := range ids {
+		out.Append(ds.Row(i))
+	}
+	return out
+}
+
+// Head returns a copy containing the first n rows (or all rows if n exceeds N).
+func (ds *Dataset) Head(n int) *Dataset {
+	if n > ds.N() {
+		n = ds.N()
+	}
+	out := New(ds.d)
+	copy(out.attrs, ds.attrs)
+	out.vals = append([]float64(nil), ds.vals[:n*ds.d]...)
+	return out
+}
+
+// Project returns a copy restricted to the given attribute columns, in the
+// given order.
+func (ds *Dataset) Project(cols []int) (*Dataset, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dataset: Project needs at least one column")
+	}
+	out := New(len(cols))
+	names := make([]string, len(cols))
+	for k, c := range cols {
+		if c < 0 || c >= ds.d {
+			return nil, fmt.Errorf("dataset: Project column %d out of range [0,%d)", c, ds.d)
+		}
+		names[k] = ds.attrs[c]
+	}
+	copy(out.attrs, names)
+	row := make([]float64, len(cols))
+	for i := 0; i < ds.N(); i++ {
+		src := ds.Row(i)
+		for k, c := range cols {
+			row[k] = src[c]
+		}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+// Utility returns the linear utility w(u, t_i) = sum_j u[j]*t_i[j].
+func (ds *Dataset) Utility(u []float64, i int) float64 {
+	row := ds.Row(i)
+	var s float64
+	for j, w := range u {
+		s += w * row[j]
+	}
+	return s
+}
+
+// Utilities fills dst (length N) with the utility of every tuple under u and
+// returns it. If dst is nil or too short a new slice is allocated.
+func (ds *Dataset) Utilities(u []float64, dst []float64) []float64 {
+	n := ds.N()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	d := ds.d
+	switch d {
+	case 2:
+		// Unrolled hot path: 2D sweeps evaluate utilities in tight loops.
+		u0, u1 := u[0], u[1]
+		for i := 0; i < n; i++ {
+			dst[i] = u0*ds.vals[i*2] + u1*ds.vals[i*2+1]
+		}
+	default:
+		for i := 0; i < n; i++ {
+			row := ds.vals[i*d : (i+1)*d]
+			var s float64
+			for j := 0; j < d; j++ {
+				s += u[j] * row[j]
+			}
+			dst[i] = s
+		}
+	}
+	return dst
+}
+
+// Normalize min-max scales every attribute to [0,1] in place, matching the
+// paper's preprocessing. Constant attributes become all-zero. It returns the
+// per-attribute (min, max) pairs used, so callers can map results back to
+// original units.
+func (ds *Dataset) Normalize() (mins, maxs []float64) {
+	n := ds.N()
+	mins = make([]float64, ds.d)
+	maxs = make([]float64, ds.d)
+	for j := 0; j < ds.d; j++ {
+		mins[j] = math.Inf(1)
+		maxs[j] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		row := ds.Row(i)
+		for j, v := range row {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := ds.Row(i)
+		for j := range row {
+			span := maxs[j] - mins[j]
+			if span == 0 {
+				row[j] = 0
+			} else {
+				row[j] = (row[j] - mins[j]) / span
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// Shift adds delta[j] to every value of attribute j, in place. Theorem 1
+// proves RRM/RRRM solutions are invariant under this operation; tests rely
+// on it.
+func (ds *Dataset) Shift(delta []float64) {
+	if len(delta) != ds.d {
+		panic(fmt.Sprintf("dataset: Shift with %d deltas on dimension %d", len(delta), ds.d))
+	}
+	for i := 0; i < ds.N(); i++ {
+		row := ds.Row(i)
+		for j := range row {
+			row[j] += delta[j]
+		}
+	}
+}
+
+// Negate flips attribute j (v -> -v), in place, converting a
+// smaller-is-better attribute to the larger-is-better convention. Follow
+// with Normalize to restore the [0,1] range.
+func (ds *Dataset) Negate(j int) {
+	if j < 0 || j >= ds.d {
+		panic(fmt.Sprintf("dataset: Negate attribute %d out of range [0,%d)", j, ds.d))
+	}
+	for i := 0; i < ds.N(); i++ {
+		ds.Row(i)[j] = -ds.Row(i)[j]
+	}
+}
+
+// Basis returns one boundary-tuple index per attribute: the tuple with the
+// maximum value on that attribute (ties broken by lower index). After
+// Normalize these are the paper's basis B (tuples with t[i] = 1). Duplicate
+// indices are possible when one tuple dominates several attributes; the
+// returned slice always has length Dim.
+func (ds *Dataset) Basis() []int {
+	n := ds.N()
+	out := make([]int, ds.d)
+	for j := 0; j < ds.d; j++ {
+		best, bestV := 0, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if v := ds.Value(i, j); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		out[j] = best
+	}
+	_ = n
+	return out
+}
+
+// String summarizes the dataset for logs.
+func (ds *Dataset) String() string {
+	return fmt.Sprintf("Dataset(n=%d, d=%d)", ds.N(), ds.d)
+}

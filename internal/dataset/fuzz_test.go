@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that every accepted
+// input round-trips through WriteCSV back to an equal dataset.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n", true)
+	f.Add("1,2\n3,4\n", false)
+	f.Add("", false)
+	f.Add("x\n", true)
+	f.Add("1,2\n3\n", false)
+	f.Add("nan,inf\n-inf,0\n", false)
+	f.Add("1e308,1e-308\n-1e308,5\n", false)
+	f.Add("h1,h2,h3\n0.1,0.2,0.3\n", true)
+	f.Fuzz(func(t *testing.T, in string, header bool) {
+		ds, err := ReadCSV(strings.NewReader(in), header)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if ds.N() == 0 || ds.Dim() == 0 {
+			t.Fatalf("accepted dataset with shape %dx%d", ds.N(), ds.Dim())
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf, true); err != nil {
+			t.Fatalf("WriteCSV failed on accepted data: %v", err)
+		}
+		back, err := ReadCSV(&buf, true)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != ds.N() || back.Dim() != ds.Dim() {
+			t.Fatalf("round trip changed shape %dx%d -> %dx%d", ds.N(), ds.Dim(), back.N(), back.Dim())
+		}
+		for i := 0; i < ds.N(); i++ {
+			for j := 0; j < ds.Dim(); j++ {
+				a, b := ds.Value(i, j), back.Value(i, j)
+				// NaN != NaN; everything else must match exactly after
+				// FormatFloat('g', -1) round-tripping.
+				if a != b && !(a != a && b != b) {
+					t.Fatalf("value (%d,%d) changed: %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

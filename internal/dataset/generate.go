@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"math"
+
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// The three synthetic workloads follow the classic skyline-benchmark
+// generator of Borzsony, Kossmann and Stocker ("The skyline operator", ICDE
+// 2001), which the paper uses for all synthetic experiments: independent,
+// correlated and anti-correlated attribute distributions on [0,1]^d.
+
+// Independent returns n tuples with attributes drawn i.i.d. uniform [0,1].
+func Independent(rng *xrand.Rand, n, d int) *Dataset {
+	ds := New(d)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			row[j] = rng.Float64()
+		}
+		ds.Append(row)
+	}
+	return ds
+}
+
+// Correlated returns n tuples whose attributes are positively correlated: a
+// per-tuple latent quality value plus small Gaussian jitter per attribute,
+// with out-of-range draws rejected (clamping would pile artificial points
+// onto the boundary and inflate the skyline). Good tuples are good
+// everywhere, so skylines are tiny and rank-regrets small, matching the
+// paper's observations.
+func Correlated(rng *xrand.Rand, n, d int) *Dataset {
+	const jitter = 0.05
+	ds := New(d)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+	redraw:
+		for {
+			base := rng.Float64()
+			for j := 0; j < d; j++ {
+				v := base + jitter*rng.NormFloat64()
+				if v < 0 || v > 1 {
+					continue redraw
+				}
+				row[j] = v
+			}
+			break
+		}
+		ds.Append(row)
+	}
+	return ds
+}
+
+// Anticorrelated returns n tuples in a thin band around the hyperplane
+// sum(t) = d/2 with strongly negatively correlated attributes: each tuple's
+// total mass is tightly concentrated around d/2 and split across attributes
+// by a random point of the simplex (out-of-range draws rejected). Tuples
+// good on one attribute are bad on others, producing large skylines and the
+// paper's hardest workload.
+func Anticorrelated(rng *xrand.Rand, n, d int) *Dataset {
+	const massJitter = 0.015
+	ds := New(d)
+	for i := 0; i < n; i++ {
+	redraw:
+		for {
+			mass := float64(d)/2 + massJitter*float64(d)*rng.NormFloat64()
+			w := rng.Simplex(d)
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				v := mass * w[j]
+				if v < 0 || v > 1 {
+					continue redraw
+				}
+				row[j] = v
+			}
+			ds.Append(row)
+			break
+		}
+	}
+	return ds
+}
+
+// QuarterCircle builds the adversarial dataset from the proof of Theorem 2:
+// n tuples evenly spaced on the quarter arc of the unit circle in the first
+// two attributes; for d > 2 the remaining attributes are fixed at 1. Every
+// size-r subset of it has rank-regret Omega(n/r) for the full space L.
+func QuarterCircle(n, d int) *Dataset {
+	ds := New(d)
+	row := make([]float64, d)
+	for j := 2; j < d; j++ {
+		row[j] = 1
+	}
+	for i := 0; i < n; i++ {
+		theta := math.Pi / 2 * float64(i) / float64(n-1)
+		// Clamp: cos(pi/2) evaluates to a tiny negative in float64.
+		row[0] = clamp01(math.Cos(theta))
+		row[1] = clamp01(math.Sin(theta))
+		ds.Append(row)
+	}
+	return ds
+}
+
+// Synthetic dispatches on a workload name ("indep", "corr", "anti"); it is
+// the single entry point the benchmark harness uses.
+func Synthetic(kind string, rng *xrand.Rand, n, d int) (*Dataset, bool) {
+	switch kind {
+	case "indep", "independent":
+		return Independent(rng, n, d), true
+	case "corr", "correlated":
+		return Correlated(rng, n, d), true
+	case "anti", "anticorrelated", "anti-correlated":
+		return Anticorrelated(rng, n, d), true
+	default:
+		return nil, false
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,21 @@
+package dataset
+
+// TableI returns the paper's running example (Table I): seven 2D tuples
+// whose RRM solution for r=1 is t3 and whose RMS solution is t4, used
+// throughout the paper to illustrate shift variance of RMS. Indices are
+// zero-based: t1 is row 0, ..., t7 is row 6.
+func TableI() *Dataset {
+	ds := MustFromRows([][]float64{
+		{0, 1},       // t1
+		{0.4, 0.95},  // t2
+		{0.57, 0.75}, // t3
+		{0.79, 0.6},  // t4
+		{0.2, 0.5},   // t5
+		{0.35, 0.3},  // t6
+		{1, 0},       // t7
+	})
+	if err := ds.SetAttrs([]string{"A1", "A2"}); err != nil {
+		panic(err)
+	}
+	return ds
+}

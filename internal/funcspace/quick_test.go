@@ -1,0 +1,181 @@
+package funcspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func boundedDim(d int) int {
+	if d < 0 {
+		d = -d
+	}
+	return d%4 + 2
+}
+
+// Property: every sample from every space lies in that space.
+func TestQuickSamplesInsideSpace(t *testing.T) {
+	f := func(seed int64, dd, cc int) bool {
+		d := boundedDim(dd)
+		c := 1
+		if d > 2 {
+			c = (abs(cc) % (d - 1))
+			if c == 0 {
+				c = 1
+			}
+		}
+		rng := xrand.New(seed)
+		spaces := []Space{NewFull(d)}
+		if cone, err := WeakRanking(d, c); err == nil {
+			spaces = append(spaces, cone)
+		}
+		center := make(geom.Vector, d)
+		for i := range center {
+			center[i] = 0.3 + 0.5*rng.Float64()
+		}
+		if ball, err := NewBall(center, 0.1); err == nil {
+			spaces = append(spaces, ball)
+		}
+		for _, sp := range spaces {
+			for i := 0; i < 20; i++ {
+				u := sp.Sample(rng)
+				if u == nil || !sp.ContainsDirection(u) {
+					return false
+				}
+				if math.Abs(geom.Norm(u)-1) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDot <= dot(u, delta) <= MaxDot for normalized members u of
+// the space's cross-section convention. The LP-based bounds use the
+// normalized (L1 or L2) cross-section; sampling the space and rescaling to
+// that cross-section must stay inside the bounds.
+func TestQuickDotBoundsContainSamples(t *testing.T) {
+	f := func(seed int64, dd int) bool {
+		d := boundedDim(dd)
+		rng := xrand.New(seed)
+		cone, err := WeakRanking(d, 1)
+		if err != nil {
+			return false
+		}
+		delta := make(geom.Vector, d)
+		for i := range delta {
+			delta[i] = rng.Float64()*2 - 1
+		}
+		lo, err := cone.MinDot(delta)
+		if err != nil {
+			return false
+		}
+		hi, err := cone.MaxDot(delta)
+		if err != nil {
+			return false
+		}
+		if lo > hi+1e-9 {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			u := cone.Sample(rng)
+			if u == nil {
+				return false
+			}
+			// The cone's LP bounds are over the L1 cross-section.
+			v := geom.NormalizeL1(u)
+			dot := geom.Dot(v, delta)
+			if dot < lo-1e-6 || dot > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: U-dominance is a strict partial order on distinct tuples —
+// irreflexive (modulo the "exists strict" condition) and antisymmetric.
+func TestQuickDominanceAntisymmetric(t *testing.T) {
+	f := func(seed int64, dd int) bool {
+		d := boundedDim(dd)
+		rng := xrand.New(seed)
+		sp := NewFull(d)
+		a := make(geom.Vector, d)
+		b := make(geom.Vector, d)
+		for i := 0; i < d; i++ {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		ab, err := Dominates(sp, a, b)
+		if err != nil {
+			return false
+		}
+		ba, err := Dominates(sp, b, a)
+		if err != nil {
+			return false
+		}
+		if ab && ba {
+			return false // antisymmetry violated
+		}
+		self, err := Dominates(sp, a, a)
+		if err != nil {
+			return false
+		}
+		return !self // irreflexive: no strict improvement over itself
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: full-orthant dominance agrees with coordinatewise comparison.
+func TestQuickFullDominanceIsCoordinatewise(t *testing.T) {
+	f := func(seed int64, dd int) bool {
+		d := boundedDim(dd)
+		rng := xrand.New(seed)
+		sp := NewFull(d)
+		a := make(geom.Vector, d)
+		b := make(geom.Vector, d)
+		for i := 0; i < d; i++ {
+			a[i] = math.Round(rng.Float64()*4) / 4 // coarse grid forces ties
+			b[i] = math.Round(rng.Float64()*4) / 4
+		}
+		got, err := Dominates(sp, a, b)
+		if err != nil {
+			return false
+		}
+		geq, strict := true, false
+		for i := 0; i < d; i++ {
+			if a[i] < b[i] {
+				geq = false
+			}
+			if a[i] > b[i] {
+				strict = true
+			}
+		}
+		return got == (geq && strict)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,312 @@
+package funcspace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func TestFullSpace(t *testing.T) {
+	f := NewFull(3)
+	if f.Dim() != 3 || f.Name() != "L" {
+		t.Error("basic accessors wrong")
+	}
+	if !f.ContainsDirection(geom.Vector{1, 0, 2}) {
+		t.Error("orthant direction rejected")
+	}
+	if f.ContainsDirection(geom.Vector{1, -0.1, 0}) {
+		t.Error("negative direction accepted")
+	}
+	if f.ContainsDirection(geom.Vector{0, 0, 0}) {
+		t.Error("zero vector accepted")
+	}
+	if f.ContainsDirection(geom.Vector{1, 1}) {
+		t.Error("wrong-dimension vector accepted")
+	}
+	lo, err := f.MinDot(geom.Vector{3, -1, 2})
+	if err != nil || lo != -1 {
+		t.Errorf("MinDot = %v, %v; want -1", lo, err)
+	}
+	hi, err := f.MaxDot(geom.Vector{3, -1, 2})
+	if err != nil || hi != 3 {
+		t.Errorf("MaxDot = %v, %v; want 3", hi, err)
+	}
+	rng := xrand.New(1)
+	u := f.Sample(rng)
+	if len(u) != 3 || !geom.NonNegative(u) {
+		t.Errorf("Sample = %v", u)
+	}
+}
+
+func TestWeakRankingCone(t *testing.T) {
+	c, err := WeakRanking(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u[0] >= u[1] >= u[2]; u[3] free.
+	if !c.ContainsDirection(geom.Vector{3, 2, 1, 5}) {
+		t.Error("valid weak ranking rejected")
+	}
+	if c.ContainsDirection(geom.Vector{1, 2, 1, 0}) {
+		t.Error("violating direction accepted")
+	}
+	// Scale invariance.
+	if !c.ContainsDirection(geom.Vector{0.003, 0.002, 0.001, 0.005}) {
+		t.Error("cone must be scale invariant")
+	}
+	if _, err := WeakRanking(3, 3); err == nil {
+		t.Error("c >= d should be rejected")
+	}
+	if _, err := WeakRanking(3, 0); err == nil {
+		t.Error("c < 1 should be rejected")
+	}
+}
+
+func TestConeSampleAndDots(t *testing.T) {
+	c, err := WeakRanking(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	for i := 0; i < 200; i++ {
+		u := c.Sample(rng)
+		if u == nil {
+			t.Fatal("cone sample failed")
+		}
+		if !(u[0] >= u[1]-1e-9 && u[1] >= u[2]-1e-9) {
+			t.Fatalf("sample %v violates ranking", u)
+		}
+	}
+	// delta = (1, 0, -1): over {u0>=u1>=u2, simplex}, min at u=(1/3,1/3,1/3)
+	// is 0, max at u=(1,0,0) is 1.
+	lo, err := c.MinDot(geom.Vector{1, 0, -1})
+	if err != nil || math.Abs(lo) > 1e-7 {
+		t.Errorf("cone MinDot = %v, %v; want 0", lo, err)
+	}
+	hi, err := c.MaxDot(geom.Vector{1, 0, -1})
+	if err != nil || math.Abs(hi-1) > 1e-7 {
+		t.Errorf("cone MaxDot = %v, %v; want 1", hi, err)
+	}
+	// delta = (-1, 0, 0): max over the cross-section is at the most
+	// "balanced" allowed vertex: u=(1/3,1/3,1/3) gives -1/3.
+	hi, err = c.MaxDot(geom.Vector{-1, 0, 0})
+	if err != nil || math.Abs(hi+1.0/3) > 1e-7 {
+		t.Errorf("cone MaxDot = %v, %v; want -1/3", hi, err)
+	}
+}
+
+func TestPolytope(t *testing.T) {
+	// Box 0.2 <= u0 <= 0.8, 0.2 <= u1 <= 0.8.
+	p, err := NewPolytope(2,
+		[][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}},
+		[]float64{0.8, -0.2, 0.8, -0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ContainsDirection(geom.Vector{1, 1}) {
+		t.Error("diagonal direction should meet the box")
+	}
+	// Direction (1, 0) never meets the box (u1 >= 0.2 requires u1 > 0).
+	if p.ContainsDirection(geom.Vector{1, 0}) {
+		t.Error("axis direction should not meet the box")
+	}
+	// Extreme slope outside the box's direction cone: (1, 10) requires
+	// u0 = u1/10; with u1 <= 0.8, u0 <= 0.08 < 0.2.
+	if p.ContainsDirection(geom.Vector{1, 10}) {
+		t.Error("too-steep direction accepted")
+	}
+	rng := xrand.New(3)
+	for i := 0; i < 50; i++ {
+		u := p.Sample(rng)
+		if u == nil || !p.ContainsDirection(u) {
+			t.Fatalf("polytope sample invalid: %v", u)
+		}
+	}
+	// MinDot over the box for delta=(1,-1): corners give 0.2-0.8 = -0.6.
+	lo, err := p.MinDot(geom.Vector{1, -1})
+	if err != nil || math.Abs(lo+0.6) > 1e-7 {
+		t.Errorf("polytope MinDot = %v, %v; want -0.6", lo, err)
+	}
+	hi, err := p.MaxDot(geom.Vector{1, -1})
+	if err != nil || math.Abs(hi-0.6) > 1e-7 {
+		t.Errorf("polytope MaxDot = %v, %v; want 0.6", hi, err)
+	}
+	if _, err := NewPolytope(2, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("bad row width accepted")
+	}
+	if _, err := NewPolytope(2, [][]float64{{1, 0}}, nil); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+}
+
+func TestBall(t *testing.T) {
+	b, err := NewBall(geom.Vector{0.5, 0.5}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ContainsDirection(geom.Vector{1, 1}) {
+		t.Error("center direction rejected")
+	}
+	if b.ContainsDirection(geom.Vector{1, 0}) {
+		t.Error("axis direction should miss the ball")
+	}
+	// Tangency angle: ball center (0.5,0.5), radius 0.2; directions within
+	// asin(0.2/|c|) of 45 degrees pass. |c| = 0.7071, angle ~16.43 deg.
+	th := math.Pi/4 - math.Asin(0.2/math.Sqrt(0.5)) + 0.01
+	if !b.ContainsDirection(geom.Vector{math.Cos(th), math.Sin(th)}) {
+		t.Error("direction just inside the tangent cone rejected")
+	}
+	th = math.Pi/4 - math.Asin(0.2/math.Sqrt(0.5)) - 0.01
+	if b.ContainsDirection(geom.Vector{math.Cos(th), math.Sin(th)}) {
+		t.Error("direction just outside the tangent cone accepted")
+	}
+	rng := xrand.New(4)
+	for i := 0; i < 100; i++ {
+		u := b.Sample(rng)
+		if u == nil || !b.ContainsDirection(u) {
+			t.Fatalf("ball sample invalid: %v", u)
+		}
+	}
+	lo, err := b.MinDot(geom.Vector{1, 0})
+	if err != nil || math.Abs(lo-0.3) > 1e-9 {
+		t.Errorf("ball MinDot = %v; want 0.3", lo)
+	}
+	hi, err := b.MaxDot(geom.Vector{1, 0})
+	if err != nil || math.Abs(hi-0.7) > 1e-9 {
+		t.Errorf("ball MaxDot = %v; want 0.7", hi)
+	}
+	if _, err := NewBall(geom.Vector{0.1, 0.5}, 0.2); err == nil {
+		t.Error("ball leaving the orthant accepted")
+	}
+	if _, err := NewBall(geom.Vector{0.5, 0.5}, 0); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	f := NewFull(2)
+	// (0.6, 0.6) dominates (0.5, 0.5) everywhere.
+	ok, err := Dominates(f, geom.Vector{0.6, 0.6}, geom.Vector{0.5, 0.5})
+	if err != nil || !ok {
+		t.Errorf("clear dominance missed: %v %v", ok, err)
+	}
+	// Incomparable pair.
+	ok, err = Dominates(f, geom.Vector{1, 0}, geom.Vector{0, 1})
+	if err != nil || ok {
+		t.Errorf("incomparable pair dominated: %v %v", ok, err)
+	}
+	// Equal tuples: no strict part.
+	ok, err = Dominates(f, geom.Vector{0.5, 0.5}, geom.Vector{0.5, 0.5})
+	if err != nil || ok {
+		t.Errorf("tuple dominating itself: %v %v", ok, err)
+	}
+	// Restricted space can create dominance that L lacks: with u0 >= u1,
+	// t=(0.7, 0.2) dominates t2=(0.5, 0.3)? delta=(0.2,-0.1): worst case
+	// u=(0.5,0.5): 0.05 > 0. Yes.
+	c, err := WeakRanking(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = Dominates(c, geom.Vector{0.7, 0.2}, geom.Vector{0.5, 0.3})
+	if err != nil || !ok {
+		t.Errorf("cone dominance missed: %v %v", ok, err)
+	}
+	// But not under the full space (u=(0,1) prefers t2).
+	ok, err = Dominates(f, geom.Vector{0.7, 0.2}, geom.Vector{0.5, 0.3})
+	if err != nil || ok {
+		t.Errorf("full-space dominance wrongly claimed: %v %v", ok, err)
+	}
+}
+
+func TestRender2DFull(t *testing.T) {
+	c0, c1, err := Render2D(NewFull(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != 0 || c1 != 1 {
+		t.Errorf("full space renders to [%v,%v], want [0,1]", c0, c1)
+	}
+	if _, _, err := Render2D(NewFull(3)); err == nil {
+		t.Error("Render2D must reject non-2D spaces")
+	}
+}
+
+func TestRender2DCone(t *testing.T) {
+	// u0 >= u1 means x >= 1-x, i.e. x in [0.5, 1].
+	c, err := WeakRanking(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1, err := Render2D(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c0-0.5) > 1e-6 || c1 != 1 {
+		t.Errorf("cone renders to [%v,%v], want [0.5,1]", c0, c1)
+	}
+}
+
+func TestRender2DBall(t *testing.T) {
+	b, err := NewBall(geom.Vector{0.5, 0.5}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1, err := Render2D(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c0 > 0.3 && c0 < 0.5 && c1 > 0.5 && c1 < 0.7) {
+		t.Errorf("ball renders to [%v,%v], want a band around 0.5", c0, c1)
+	}
+	// All rendered xs must be members; just-outside xs must not.
+	if !b.ContainsDirection(geom.Vector{c0 + 1e-4, 1 - c0 - 1e-4}) {
+		t.Error("left endpoint + eps not a member")
+	}
+	if b.ContainsDirection(geom.Vector{c0 - 1e-4, 1 - c0 + 1e-4}) {
+		t.Error("left endpoint - eps is a member; interval too small")
+	}
+}
+
+// Property: Dominates must agree with a dense sample of directions for
+// every space kind.
+func TestDominatesAgreesWithSampling(t *testing.T) {
+	rng := xrand.New(5)
+	cone, err := WeakRanking(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := NewBall(geom.Vector{0.5, 0.5, 0.5}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaces := []Space{NewFull(3), cone, ball}
+	for _, s := range spaces {
+		for trial := 0; trial < 60; trial++ {
+			a := geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+			b := geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+			dom, err := Dominates(s, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sampling check: if dominance claimed, no sampled u may prefer b
+			// strictly; if not claimed and some u prefers a strictly while
+			// another prefers b, that's consistent (incomparable).
+			viol := false
+			for i := 0; i < 300; i++ {
+				u := s.Sample(rng)
+				if u == nil {
+					t.Fatalf("%s: sampling failed", s.Name())
+				}
+				if geom.Dot(u, b) > geom.Dot(u, a)+1e-7 {
+					viol = true
+					break
+				}
+			}
+			if dom && viol {
+				t.Errorf("%s: claimed dominance contradicted by a sample (a=%v b=%v)", s.Name(), a, b)
+			}
+		}
+	}
+}

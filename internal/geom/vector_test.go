@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want float64
+	}{
+		{Vector{1, 2}, Vector{3, 4}, 11},
+		{Vector{0, 0, 0}, Vector{1, 2, 3}, 0},
+		{Vector{1}, Vector{-1}, -1},
+		{Vector{0.5, 0.5}, Vector{1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot on mismatched lengths did not panic")
+		}
+	}()
+	Dot(Vector{1, 2}, Vector{1})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if got := Norm(v); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm(%v) = %v, want 5", v, got)
+	}
+	n := Normalize(v)
+	if !almostEq(Norm(n), 1, 1e-12) {
+		t.Errorf("Normalize produced norm %v, want 1", Norm(n))
+	}
+	if !almostEq(n[0], 0.6, 1e-12) || !almostEq(n[1], 0.8, 1e-12) {
+		t.Errorf("Normalize(%v) = %v", v, n)
+	}
+	// Input untouched.
+	if v[0] != 3 || v[1] != 4 {
+		t.Errorf("Normalize mutated its input: %v", v)
+	}
+	zero := Vector{0, 0}
+	if got := Normalize(zero); got[0] != 0 || got[1] != 0 {
+		t.Errorf("Normalize(zero) = %v, want zero", got)
+	}
+}
+
+func TestNormalizeL1(t *testing.T) {
+	v := Vector{1, 3}
+	n := NormalizeL1(v)
+	if !almostEq(n[0], 0.25, 1e-12) || !almostEq(n[1], 0.75, 1e-12) {
+		t.Errorf("NormalizeL1(%v) = %v", v, n)
+	}
+	zero := NormalizeL1(Vector{0, 0, 0})
+	if !AllZero(zero) {
+		t.Errorf("NormalizeL1(zero) = %v, want zero", zero)
+	}
+}
+
+func TestAddSubScaleDist(t *testing.T) {
+	a, b := Vector{1, 2}, Vector{4, 6}
+	if got := Sub(b, a); got[0] != 3 || got[1] != 4 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Add(a, b); got[0] != 5 || got[1] != 8 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Scale(2, a); got[0] != 2 || got[1] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Dist(a, b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Vector{1, 2, 3}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares backing storage with original")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !NonNegative(Vector{0, 1, 2}) {
+		t.Error("NonNegative false on non-negative vector")
+	}
+	if NonNegative(Vector{0, -1e-300}) {
+		t.Error("NonNegative true on negative vector")
+	}
+	if !AllZero(Vector{0, 0}) || AllZero(Vector{0, 1}) {
+		t.Error("AllZero misclassification")
+	}
+}
+
+// Property: normalization is idempotent and norm-1 for random vectors.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(Vector, len(raw))
+		any := false
+		for i, x := range raw {
+			// Clamp to a sane range to avoid inf/NaN from quick's extremes.
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			v[i] = math.Mod(x, 1e6)
+			if v[i] != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		n := Normalize(v)
+		return almostEq(Norm(n), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotBilinearProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(8)
+		a, b, c := make(Vector, d), make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		if !almostEq(Dot(a, b), Dot(b, a), 1e-9) {
+			t.Fatalf("Dot not symmetric for %v, %v", a, b)
+		}
+		lhs := Dot(Add(a, c), b)
+		rhs := Dot(a, b) + Dot(c, b)
+		if !almostEq(lhs, rhs, 1e-7*(1+math.Abs(lhs))) {
+			t.Fatalf("Dot not additive: %v vs %v", lhs, rhs)
+		}
+	}
+}

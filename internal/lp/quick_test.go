@@ -1,0 +1,148 @@
+package lp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// randomLP builds a bounded random LP max c.x s.t. Ax <= b, x >= 0 that is
+// always feasible (b >= 0 makes x = 0 feasible) and bounded (a row of ones
+// with a finite cap).
+func randomLP(seed int64, dd, mm int) (c []float64, a [][]float64, b []float64) {
+	d := dd
+	if d < 0 {
+		d = -d
+	}
+	d = d%4 + 1
+	m := mm
+	if m < 0 {
+		m = -m
+	}
+	m = m%5 + 1
+	rng := xrand.New(seed)
+	c = make([]float64, d)
+	for i := range c {
+		c[i] = rng.Float64()*2 - 0.5
+	}
+	a = make([][]float64, 0, m+1)
+	b = make([]float64, 0, m+1)
+	for r := 0; r < m; r++ {
+		row := make([]float64, d)
+		for i := range row {
+			row[i] = rng.Float64()*2 - 0.5
+		}
+		a = append(a, row)
+		b = append(b, rng.Float64()*3) // non-negative: x=0 feasible
+	}
+	cap := make([]float64, d)
+	for i := range cap {
+		cap[i] = 1
+	}
+	a = append(a, cap)
+	b = append(b, 5) // sum(x) <= 5 bounds the feasible region
+	return c, a, b
+}
+
+// Property: the reported optimum is feasible and weakly dominates x = 0 and
+// a cloud of random feasible points.
+func TestQuickMaximizeOptimality(t *testing.T) {
+	f := func(seed int64, dd, mm int) bool {
+		c, a, b := randomLP(seed, dd, mm)
+		res, err := Maximize(c, a, b)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Feasibility of the reported solution.
+		for r := range a {
+			lhs := 0.0
+			for i := range c {
+				lhs += a[r][i] * res.X[i]
+			}
+			if lhs > b[r]+1e-7 {
+				return false
+			}
+		}
+		for _, x := range res.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// x = 0 is feasible, so the optimum is at least c.0 = 0 when
+		// maximizing with any c having a non-negative direction available;
+		// in general optimum >= 0 because 0 is feasible.
+		if res.Objective < -1e-7 {
+			return false
+		}
+		// Random feasible points never beat the optimum.
+		rng := xrand.New(seed + 99)
+		d := len(c)
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			feasible := true
+			for r := range a {
+				lhs := 0.0
+				for i := range x {
+					lhs += a[r][i] * x[i]
+				}
+				if lhs > b[r] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			val := 0.0
+			for i := range x {
+				val += c[i] * x[i]
+			}
+			if val > res.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the objective scales the optimum (positive homogeneity
+// of LP optima in c).
+func TestQuickMaximizeHomogeneous(t *testing.T) {
+	f := func(seed int64, dd, mm int) bool {
+		c, a, b := randomLP(seed, dd, mm)
+		r1, err := Maximize(c, a, b)
+		if err != nil || r1.Status != Optimal {
+			return false
+		}
+		c2 := make([]float64, len(c))
+		for i := range c {
+			c2[i] = 3 * c[i]
+		}
+		r2, err := Maximize(c2, a, b)
+		if err != nil || r2.Status != Optimal {
+			return false
+		}
+		diff := r2.Objective - 3*r1.Objective
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*(1+3*abs(r1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

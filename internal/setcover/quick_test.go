@@ -1,0 +1,114 @@
+package setcover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// randomInstance builds a random coverable set-cover instance.
+func randomInstance(seed int64, uSize, nSets int) (int, [][]int) {
+	uSize = uSize%40 + 5
+	nSets = nSets%15 + 3
+	if uSize < 0 {
+		uSize = -uSize
+	}
+	if nSets < 0 {
+		nSets = -nSets
+	}
+	rng := xrand.New(seed)
+	sets := make([][]int, nSets)
+	for i := range sets {
+		for e := 0; e < uSize; e++ {
+			if rng.Float64() < 0.3 {
+				sets[i] = append(sets[i], e)
+			}
+		}
+	}
+	// Guarantee coverability: one set with every element.
+	sets = append(sets, seq(uSize))
+	return uSize, sets
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Property: the greedy result always covers the universe, contains no
+// out-of-range set indices, and has no duplicate choices.
+func TestQuickGreedyAlwaysCovers(t *testing.T) {
+	f := func(seed int64, uSize, nSets int) bool {
+		u, sets := randomInstance(seed, uSize, nSets)
+		chosen, ok := Greedy(u, sets)
+		if !ok {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range chosen {
+			if c < 0 || c >= len(sets) || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return CoverSize(u, sets, chosen) == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy never uses more sets than the universe size (each chosen
+// set covers at least one new element).
+func TestQuickGreedyProgress(t *testing.T) {
+	f := func(seed int64, uSize, nSets int) bool {
+		u, sets := randomInstance(seed, uSize, nSets)
+		chosen, ok := Greedy(u, sets)
+		return ok && len(chosen) <= u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing an element from the universe never makes the greedy
+// cover larger than covering the full universe plus one (monotonicity up to
+// greedy's tie-breaking noise is not guaranteed in general, but the cover
+// of a subset universe is never forced to exceed a valid cover of the
+// superset — which greedy found).
+func TestQuickGreedySubsetUniverse(t *testing.T) {
+	f := func(seed int64, uSize, nSets int) bool {
+		u, sets := randomInstance(seed, uSize, nSets)
+		if u < 2 {
+			return true
+		}
+		full, ok := Greedy(u, sets)
+		if !ok {
+			return false
+		}
+		// Shrink the universe to [0, u-1) and clip sets accordingly.
+		clipped := make([][]int, len(sets))
+		for i, s := range sets {
+			for _, e := range s {
+				if e < u-1 {
+					clipped[i] = append(clipped[i], e)
+				}
+			}
+		}
+		sub, ok := Greedy(u-1, clipped)
+		if !ok {
+			return false
+		}
+		// `full` is also a cover of the shrunk instance, so greedy's
+		// 1+ln(u) bound keeps `sub` within a log factor of it; the cheap
+		// invariant worth pinning is that both cover their universes.
+		return CoverSize(u-1, clipped, sub) == u-1 && len(full) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

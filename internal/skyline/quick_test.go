@@ -1,0 +1,97 @@
+package skyline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// randomDataset builds a bounded random dataset from quick's fuzz inputs.
+func randomDataset(seed int64, n, d int) *dataset.Dataset {
+	if n < 1 {
+		n = 1
+	}
+	n = n%64 + 1
+	if d < 1 {
+		d = 1
+	}
+	d = d%4 + 1
+	return dataset.Independent(xrand.New(seed), n, d)
+}
+
+// Property: every non-skyline tuple is dominated by some skyline tuple,
+// and no skyline tuple is dominated at all.
+func TestQuickSkylinePartition(t *testing.T) {
+	f := func(seed int64, n, d int) bool {
+		ds := randomDataset(seed, n, d)
+		onSky := map[int]bool{}
+		for _, id := range Compute(ds) {
+			onSky[id] = true
+		}
+		for i := 0; i < ds.N(); i++ {
+			if onSky[i] == IsDominated(ds, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the skyline of the skyline is itself (idempotence).
+func TestQuickSkylineIdempotent(t *testing.T) {
+	f := func(seed int64, n, d int) bool {
+		ds := randomDataset(seed, n, d)
+		sky := Compute(ds)
+		sub := ds.Subset(sky)
+		again := Compute(sub)
+		return len(again) == sub.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a tuple never removes existing skyline members unless it
+// dominates them; concretely, the skyline of D is a superset of the skyline
+// of D restricted to the skyline's own members.
+func TestQuickSkylineStableUnderDominatedInsert(t *testing.T) {
+	f := func(seed int64, n, d int) bool {
+		ds := randomDataset(seed, n, d)
+		sky := Compute(ds)
+		// Insert a copy of a dominated point: the skyline must not change.
+		if len(sky) == ds.N() {
+			return true // nothing dominated to copy
+		}
+		onSky := map[int]bool{}
+		for _, id := range sky {
+			onSky[id] = true
+		}
+		var dominated int = -1
+		for i := 0; i < ds.N(); i++ {
+			if !onSky[i] {
+				dominated = i
+				break
+			}
+		}
+		grown := ds.Clone()
+		grown.Append(ds.Row(dominated))
+		sky2 := Compute(grown)
+		if len(sky2) != len(sky) {
+			return false
+		}
+		for i := range sky {
+			if sky[i] != sky2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func randomLines(seed int64, nn int) []geom.Line {
+	n := nn
+	if n < 0 {
+		n = -n
+	}
+	n = n%30 + 2
+	rng := xrand.New(seed)
+	lines := make([]geom.Line, n)
+	for i := range lines {
+		lines[i] = geom.DualLine(rng.Float64(), rng.Float64())
+	}
+	return lines
+}
+
+// Property: InitialRanks is a permutation of 1..n consistent with the
+// y-order at c0 (strictly higher line = strictly better rank).
+func TestQuickInitialRanksPermutation(t *testing.T) {
+	f := func(seed int64, nn int) bool {
+		lines := randomLines(seed, nn)
+		ranks := InitialRanks(lines, 0)
+		seen := make([]bool, len(lines)+1)
+		for _, r := range ranks {
+			if r < 1 || r > len(lines) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		for i := range lines {
+			for j := range lines {
+				if lines[i].Eval(0) > lines[j].Eval(0) && ranks[i] > ranks[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NeighborSweep visits every crossing pair in (0,1] exactly once
+// and in non-decreasing x order.
+func TestQuickNeighborSweepCompleteOrdered(t *testing.T) {
+	f := func(seed int64, nn int) bool {
+		lines := randomLines(seed, nn)
+		want := map[[2]int]bool{}
+		for i := range lines {
+			for j := i + 1; j < len(lines); j++ {
+				if x, ok := geom.IntersectX(lines[i], lines[j]); ok && x > 0 && x <= 1 {
+					want[[2]int{i, j}] = true
+				}
+			}
+		}
+		got := map[[2]int]bool{}
+		lastX := 0.0
+		okOrder := true
+		NeighborSweep(lines, 0, 1, func(x float64, up, down int) {
+			if x < lastX {
+				okOrder = false
+			}
+			lastX = x
+			a, b := up, down
+			if a > b {
+				a, b = b, a
+			}
+			if got[[2]int{a, b}] {
+				okOrder = false // duplicate visit
+			}
+			got[[2]int{a, b}] = true
+		})
+		if !okOrder || len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replaying NeighborSweep's swaps on the initial order yields the
+// exact reverse-sorted order at x = 1 (the arrangement is fully inverted
+// pair-by-pair as crossings demand).
+func TestQuickNeighborSweepFinalOrder(t *testing.T) {
+	f := func(seed int64, nn int) bool {
+		lines := randomLines(seed, nn)
+		ranks := InitialRanks(lines, 0)
+		n := len(lines)
+		order := make([]int, n)
+		for id, r := range ranks {
+			order[r-1] = id
+		}
+		pos := make([]int, n)
+		for p, id := range order {
+			pos[id] = p
+		}
+		NeighborSweep(lines, 0, 1, func(x float64, up, down int) {
+			pu, pd := pos[up], pos[down]
+			if pu+1 != pd {
+				return
+			}
+			order[pu], order[pd] = down, up
+			pos[up], pos[down] = pd, pu
+		})
+		// At x=1 the list must be sorted by Eval(1) descending.
+		for p := 1; p < n; p++ {
+			if lines[order[p-1]].Eval(1) < lines[order[p]].Eval(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

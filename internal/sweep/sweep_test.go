@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func dualLines(ds *dataset.Dataset) []geom.Line {
+	lines := make([]geom.Line, ds.N())
+	for i := 0; i < ds.N(); i++ {
+		lines[i] = geom.DualLine(ds.Value(i, 0), ds.Value(i, 1))
+	}
+	return lines
+}
+
+// bruteRank computes 1 + #lines above line i at x, with the package's
+// tie-break.
+func bruteRank(lines []geom.Line, i int, x float64) int {
+	r := 1
+	for j := range lines {
+		if j != i && lineAbove(lines, j, i, x) {
+			r++
+		}
+	}
+	return r
+}
+
+func TestInitialRanks(t *testing.T) {
+	// Table I at x=0: lines ordered by intercept (A2 value) descending:
+	// t1(1), t2(.95), t3(.75), t4(.6), t5(.5), t6(.3), t7(0).
+	ds := dataset.MustFromRows([][]float64{
+		{0, 1}, {0.4, 0.95}, {0.57, 0.75}, {0.79, 0.6}, {0.2, 0.5}, {0.35, 0.3}, {1, 0},
+	})
+	lines := dualLines(ds)
+	ranks := InitialRanks(lines, 0)
+	want := []int{1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+}
+
+func TestInitialRanksMatchBrute(t *testing.T) {
+	rng := xrand.New(1)
+	ds := dataset.Independent(rng, 40, 2)
+	lines := dualLines(ds)
+	for _, c0 := range []float64{0, 0.25, 0.5, 0.9} {
+		ranks := InitialRanks(lines, c0)
+		for i := range lines {
+			if want := bruteRank(lines, i, c0); ranks[i] != want {
+				t.Fatalf("c0=%v line %d: rank %d want %d", c0, i, ranks[i], want)
+			}
+		}
+	}
+}
+
+func TestBuildEventsMatchesBrute(t *testing.T) {
+	rng := xrand.New(2)
+	ds := dataset.Independent(rng, 30, 2)
+	lines := dualLines(ds)
+	isCand := make([]bool, len(lines))
+	for i := 0; i < len(lines); i += 3 {
+		isCand[i] = true
+	}
+	events := BuildEvents(lines, isCand, 0, 1)
+	// Brute-force count of candidate-involving crossings in (0, 1].
+	count := 0
+	for i := range lines {
+		for j := i + 1; j < len(lines); j++ {
+			if !isCand[i] && !isCand[j] {
+				continue
+			}
+			x, ok := geom.IntersectX(lines[i], lines[j])
+			if ok && x > 0 && x <= 1 {
+				count++
+			}
+		}
+	}
+	if len(events) != count {
+		t.Fatalf("BuildEvents found %d, brute force %d", len(events), count)
+	}
+	// Sorted by x, Up above Down just before crossing.
+	for i, e := range events {
+		if i > 0 && events[i-1].X > e.X {
+			t.Fatal("events not sorted by x")
+		}
+		before := e.X - 1e-9
+		if !lineAbove(lines, int(e.Up), int(e.Down), before) {
+			t.Fatalf("event %d: Up %d not above Down %d just before x=%v", i, e.Up, e.Down, e.X)
+		}
+		if lines[e.Up].Slope >= lines[e.Down].Slope {
+			t.Fatalf("event %d: Up must have the smaller slope", i)
+		}
+	}
+}
+
+func TestEventWalkReproducesRanks(t *testing.T) {
+	// Walking the event list and applying +-1 must reproduce brute-force
+	// ranks of candidate lines at any x.
+	rng := xrand.New(3)
+	ds := dataset.Anticorrelated(rng, 50, 2)
+	lines := dualLines(ds)
+	isCand := make([]bool, len(lines))
+	cands := []int{0, 7, 13, 22, 31, 49}
+	for _, c := range cands {
+		isCand[c] = true
+	}
+	ranks := InitialRanks(lines, 0)
+	events := BuildEvents(lines, isCand, 0, 1)
+	checkpoints := []float64{0.1, 0.33, 0.5, 0.77, 1.0}
+	ci := 0
+	verify := func(x float64) {
+		for _, c := range cands {
+			if want := bruteRank(lines, c, x); ranks[c] != want {
+				t.Fatalf("at x=%v line %d: walked rank %d, brute %d", x, c, ranks[c], want)
+			}
+		}
+	}
+	for _, e := range events {
+		for ci < len(checkpoints) && checkpoints[ci] < e.X {
+			verify(checkpoints[ci])
+			ci++
+		}
+		if isCand[e.Up] {
+			ranks[e.Up]++
+		}
+		if isCand[e.Down] {
+			ranks[e.Down]--
+		}
+	}
+	for ; ci < len(checkpoints); ci++ {
+		verify(checkpoints[ci])
+	}
+}
+
+func TestBuildEventsRestrictedWindow(t *testing.T) {
+	rng := xrand.New(4)
+	ds := dataset.Independent(rng, 20, 2)
+	lines := dualLines(ds)
+	isCand := make([]bool, len(lines))
+	for i := range isCand {
+		isCand[i] = true
+	}
+	all := BuildEvents(lines, isCand, 0, 1)
+	window := BuildEvents(lines, isCand, 0.3, 0.7)
+	for _, e := range window {
+		if e.X <= 0.3 || e.X > 0.7 {
+			t.Fatalf("event at x=%v outside (0.3, 0.7]", e.X)
+		}
+	}
+	// Window events are exactly the subset of all events in range.
+	wantCount := 0
+	for _, e := range all {
+		if e.X > 0.3 && e.X <= 0.7 {
+			wantCount++
+		}
+	}
+	if len(window) != wantCount {
+		t.Errorf("window has %d events, want %d", len(window), wantCount)
+	}
+}
+
+func TestNeighborSweepVisitsAllCrossings(t *testing.T) {
+	rng := xrand.New(5)
+	ds := dataset.Independent(rng, 25, 2)
+	lines := dualLines(ds)
+	var visited []Event
+	NeighborSweep(lines, 0, 1, func(x float64, up, down int) {
+		visited = append(visited, Event{X: x, Up: int32(up), Down: int32(down)})
+	})
+	// Compare with the full crossing set from BuildEvents with all lines as
+	// candidates.
+	isCand := make([]bool, len(lines))
+	for i := range isCand {
+		isCand[i] = true
+	}
+	want := BuildEvents(lines, isCand, 0, 1)
+	if len(visited) != len(want) {
+		t.Fatalf("neighbor sweep visited %d crossings, want %d", len(visited), len(want))
+	}
+	// x-ordered.
+	for i := 1; i < len(visited); i++ {
+		if visited[i-1].X > visited[i].X+1e-12 {
+			t.Fatal("neighbor sweep events out of order")
+		}
+	}
+	// Same multiset of pairs.
+	key := func(e Event) int64 { return pairKey(e.Up, e.Down) }
+	a := make([]int64, len(visited))
+	b := make([]int64, len(want))
+	for i := range visited {
+		a[i] = key(visited[i])
+		b[i] = key(want[i])
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("neighbor sweep visited a different crossing set")
+		}
+	}
+}
+
+func TestNeighborSweepRankEvolution(t *testing.T) {
+	// The paper's invariant: after the sweep passes a crossing, the two
+	// lines swap adjacent positions; walking ranks through NeighborSweep
+	// must agree with brute force at the end (x = 1).
+	rng := xrand.New(6)
+	ds := dataset.Correlated(rng, 30, 2)
+	lines := dualLines(ds)
+	ranks := InitialRanks(lines, 0)
+	NeighborSweep(lines, 0, 1, func(x float64, up, down int) {
+		ranks[up]++
+		ranks[down]--
+	})
+	for i := range lines {
+		if want := bruteRank(lines, i, 1); ranks[i] != want {
+			t.Fatalf("line %d: final rank %d, brute %d", i, ranks[i], want)
+		}
+	}
+}
+
+func TestParallelLinesNoEvents(t *testing.T) {
+	// Identical tuples give identical (parallel) lines: no crossings, no
+	// infinite loops.
+	ds := dataset.MustFromRows([][]float64{
+		{0.5, 0.5}, {0.5, 0.5}, {0.3, 0.8},
+	})
+	lines := dualLines(ds)
+	isCand := []bool{true, true, true}
+	events := BuildEvents(lines, isCand, 0, 1)
+	for _, e := range events {
+		if (e.Up == 0 && e.Down == 1) || (e.Up == 1 && e.Down == 0) {
+			t.Fatal("parallel lines reported as crossing")
+		}
+	}
+	n := 0
+	NeighborSweep(lines, 0, 1, func(x float64, up, down int) { n++ })
+	if n != len(events) {
+		t.Errorf("neighbor sweep found %d events, BuildEvents %d", n, len(events))
+	}
+}
+
+func TestDegenerateConcurrentCrossings(t *testing.T) {
+	// Three lines through one point: all three pairwise crossings happen at
+	// the same x; both sweeps must handle it and end with correct ranks.
+	lines := []geom.Line{
+		{Slope: 1, Intercept: 0},
+		{Slope: -1, Intercept: 1},
+		{Slope: 0, Intercept: 0.5},
+		{Slope: 0.3, Intercept: 0.2},
+	}
+	isCand := []bool{true, true, true, true}
+	events := BuildEvents(lines, isCand, 0, 1)
+	ranks := InitialRanks(lines, 0)
+	for _, e := range events {
+		ranks[e.Up]++
+		ranks[e.Down]--
+	}
+	for i := range lines {
+		if want := bruteRank(lines, i, 1); ranks[i] != want {
+			t.Fatalf("line %d: evented rank %d, brute %d", i, ranks[i], want)
+		}
+	}
+	count := 0
+	NeighborSweep(lines, 0, 1, func(x float64, up, down int) { count++ })
+	if count != len(events) {
+		t.Errorf("neighbor sweep %d events, BuildEvents %d", count, len(events))
+	}
+	// Lines 0, 1, 2 are concurrent at x = 0.5: exactly three crossings there.
+	at05 := 0
+	for _, e := range events {
+		if math.Abs(e.X-0.5) < 1e-12 {
+			at05++
+		}
+	}
+	if at05 != 3 {
+		t.Errorf("%d crossings at the concurrent point, want 3", at05)
+	}
+}

@@ -1,0 +1,133 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func quickDataset(seed int64, n, d int) (*dataset.Dataset, []float64) {
+	n = abs(n)%80 + 2
+	d = abs(d)%4 + 1
+	rng := xrand.New(seed)
+	ds := dataset.Independent(rng, n, d)
+	u := make([]float64, d)
+	for j := range u {
+		u[j] = rng.Float64()
+	}
+	return ds, u
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}
+
+// Property: TopK's output matches sorting all utilities descending.
+func TestQuickTopKAgreesWithSort(t *testing.T) {
+	f := func(seed int64, n, d, kk int) bool {
+		ds, u := quickDataset(seed, n, d)
+		k := abs(kk)%ds.N() + 1
+		got := TopK(ds, u, k, nil)
+		if len(got) != k {
+			return false
+		}
+		ranked := FullRanking(ds, u, nil)
+		for i := 0; i < k; i++ {
+			if got[i] != ranked[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FullRanking is a permutation sorted by descending utility.
+func TestQuickFullRankingPermutation(t *testing.T) {
+	f := func(seed int64, n, d int) bool {
+		ds, u := quickDataset(seed, n, d)
+		ranked := FullRanking(ds, u, nil)
+		if len(ranked) != ds.N() {
+			return false
+		}
+		seen := make([]bool, ds.N())
+		for _, id := range ranked {
+			if id < 0 || id >= ds.N() || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		for i := 1; i < len(ranked); i++ {
+			if ds.Utility(u, ranked[i-1]) < ds.Utility(u, ranked[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rank(id) equals 1 + number of tuples with strictly higher
+// utility (with the package's deterministic tie-break).
+func TestQuickRankDefinition(t *testing.T) {
+	f := func(seed int64, n, d, idx int) bool {
+		ds, u := quickDataset(seed, n, d)
+		id := abs(idx) % ds.N()
+		r := Rank(ds, u, id, nil)
+		ranked := FullRanking(ds, u, nil)
+		for pos, got := range ranked {
+			if got == id {
+				return r == pos+1
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RankOfSet is the minimum over member ranks, and KthScore is the
+// k-th entry of the sorted utility list.
+func TestQuickRankOfSetAndKthScore(t *testing.T) {
+	f := func(seed int64, n, d, kk int, pick []int) bool {
+		ds, u := quickDataset(seed, n, d)
+		if len(pick) == 0 {
+			pick = []int{0}
+		}
+		ids := make([]int, 0, len(pick))
+		for _, p := range pick {
+			ids = append(ids, abs(p)%ds.N())
+		}
+		got := RankOfSet(ds, u, ids, nil)
+		want := ds.N() + 1
+		for _, id := range ids {
+			if r := Rank(ds, u, id, nil); r < want {
+				want = r
+			}
+		}
+		if got != want {
+			return false
+		}
+		k := abs(kk)%ds.N() + 1
+		scores := ds.Utilities(u, nil)
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		return KthScore(ds, u, k, nil) == scores[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package xrand centralizes the repository's randomness. Every stochastic
+// component (workload generators, the HDRRM sample set Da, randomized
+// baselines, the rank-regret estimator) takes an explicit *xrand.Rand so runs
+// are reproducible from a single seed.
+//
+// The implementation wraps math/rand with a fixed-increment SplitMix64 seed
+// scrambler so that nearby integer seeds produce unrelated streams, and adds
+// the geometric samplers the paper needs: uniform directions on the unit
+// sphere restricted to the non-negative orthant, and rejection sampling into
+// restricted utility spaces.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/rankregret/rankregret/internal/geom"
+)
+
+// Rand is a seeded random source with geometry-aware samplers.
+type Rand struct {
+	*rand.Rand
+}
+
+// splitmix64 scrambles a seed so consecutive seeds give independent streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// New returns a reproducible random source for the given seed.
+func New(seed int64) *Rand {
+	s := splitmix64(uint64(seed))
+	return &Rand{Rand: rand.New(rand.NewSource(int64(s)))}
+}
+
+// Split derives an independent stream labeled by tag. Use it to hand separate
+// components their own generators without manual seed bookkeeping.
+func (r *Rand) Split(tag uint64) *Rand {
+	s := splitmix64(uint64(r.Int63()) ^ splitmix64(tag))
+	return &Rand{Rand: rand.New(rand.NewSource(int64(s)))}
+}
+
+// UnitOrthantDirection samples a direction uniformly at random from the
+// intersection of the unit sphere with the non-negative orthant of R^d
+// (the paper's function space S). It draws a standard Gaussian vector,
+// takes absolute values, and normalizes; by symmetry of the Gaussian this is
+// uniform on the orthant patch of the sphere.
+func (r *Rand) UnitOrthantDirection(d int) geom.Vector {
+	u := make(geom.Vector, d)
+	for {
+		var norm float64
+		for i := 0; i < d; i++ {
+			x := math.Abs(r.NormFloat64())
+			u[i] = x
+			norm += x * x
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for i := range u {
+				u[i] /= norm
+			}
+			return u
+		}
+	}
+}
+
+// Simplex samples a weight vector uniformly from the standard (d-1)-simplex
+// (non-negative entries summing to 1), via sorted uniform spacings.
+func (r *Rand) Simplex(d int) geom.Vector {
+	// Exponential spacings normalized by their sum are Dirichlet(1,...,1).
+	u := make(geom.Vector, d)
+	var sum float64
+	for i := 0; i < d; i++ {
+		e := r.ExpFloat64()
+		u[i] = e
+		sum += e
+	}
+	for i := range u {
+		u[i] /= sum
+	}
+	return u
+}
+
+// Accepter reports whether a sampled direction is acceptable. Used by
+// SampleWhere for rejection sampling into restricted spaces.
+type Accepter func(geom.Vector) bool
+
+// SampleWhere draws a uniform orthant direction conditioned on accept
+// returning true, giving up after maxTries draws (returns nil in that case).
+// A nil accept function accepts everything.
+func (r *Rand) SampleWhere(d int, accept Accepter, maxTries int) geom.Vector {
+	for i := 0; i < maxTries; i++ {
+		u := r.UnitOrthantDirection(d)
+		if accept == nil || accept(u) {
+			return u
+		}
+	}
+	return nil
+}
+
+// Perm returns a random permutation of [0, n), same contract as rand.Perm.
+// Declared here so callers only import xrand.
+func (r *Rand) PermN(n int) []int { return r.Perm(n) }

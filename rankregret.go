@@ -1,0 +1,518 @@
+// Package rankregret implements the rank-regret minimization (RRM) problem
+// and its restricted variant (RRRM) from "Rank-Regret Minimization",
+// Xiao & Li, ICDE 2022 (arXiv:2111.08563).
+//
+// Given a dataset D of n tuples over d numeric attributes, RRM asks for a
+// subset S of at most r tuples that minimizes the maximum, over every linear
+// utility function u >= 0, of the best rank any member of S achieves in the
+// list of D sorted by u. Intuitively: no matter which (unknown) linear
+// preference a user holds, S contains a tuple ranked at most RankRegret(S)
+// for that preference. RRRM restricts the adversary to a convex sub-space U
+// of utility vectors (e.g. "attribute 1 matters at least as much as
+// attribute 2").
+//
+// The package exposes two solvers from the paper:
+//
+//   - TwoDRRM: an exact O(n^2 log n) dynamic program over convex chains in
+//     dual space, for d = 2 (RRM is in P for two attributes).
+//   - HDRRM: for any d, a double-approximation algorithm that discretizes
+//     the utility sphere into samples plus a polar grid and solves a
+//     sequence of greedy set covers (ASMS).
+//
+// plus the baselines the paper evaluates against (TwoDRRRBaseline, MDRRRr,
+// MDRC, MDRMS), an evaluation toolbox, workload generators, and utility
+// function spaces for RRRM. Everything is stdlib-only.
+//
+// Quick start:
+//
+//	ds, _ := rankregret.NewDataset(rows) // rows [][]float64, larger = better
+//	sol, err := rankregret.Solve(ds, 5, nil)
+//	fmt.Println(sol.IDs, sol.RankRegret)
+package rankregret
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/rankregret/rankregret/internal/algo2d"
+	"github.com/rankregret/rankregret/internal/algohd"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/eval"
+	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/skyline"
+	"github.com/rankregret/rankregret/internal/topk"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// Dataset is an immutable-by-convention row-major matrix of n tuples over d
+// attributes, where on every attribute a larger value is preferred. Use
+// Normalize to map each attribute to [0, 1] (the paper's setting), Negate
+// for smaller-is-better attributes, and Shift to test shift invariance.
+type Dataset = dataset.Dataset
+
+// NewDataset builds a Dataset from rows. All rows must have the same,
+// non-zero number of attributes.
+func NewDataset(rows [][]float64) (*Dataset, error) { return dataset.FromRows(rows) }
+
+// ReadCSV reads a dataset from CSV. If header is true the first record
+// names the attributes. Columns listed in negate are treated as
+// smaller-is-better and negated on load (rank-regret is shift invariant, so
+// no further re-scaling is needed; see Theorem 1).
+func ReadCSV(r io.Reader, header bool, negate []int) (*Dataset, error) {
+	ds, err := dataset.ReadCSV(r, header)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range negate {
+		if j < 0 || j >= ds.Dim() {
+			return nil, fmt.Errorf("rankregret: negate column %d out of range [0, %d)", j, ds.Dim())
+		}
+		ds.Negate(j)
+	}
+	return ds, nil
+}
+
+// WriteCSV writes a dataset as CSV with an attribute-name header.
+func WriteCSV(w io.Writer, ds *Dataset) error { return ds.WriteCSV(w, true) }
+
+// Space is a convex sub-space of the non-negative orthant of utility
+// vectors, used to restrict RRRM. Implementations in this package: the full
+// orthant, weak-ranking cones, convex polytopes, and balls around an
+// estimated vector.
+type Space = funcspace.Space
+
+// FullSpace returns the unrestricted space L of all non-negative utility
+// vectors in d dimensions. Solving with FullSpace is plain RRM.
+func FullSpace(d int) Space { return funcspace.NewFull(d) }
+
+// WeakRankingSpace returns the cone {u >= 0 : u[0] >= u[1] >= ... >= u[c]},
+// the "weak rankings" restriction the paper uses in its RRRM experiments
+// (Section VI.B.5): the first c+1 attributes are in non-increasing order of
+// importance.
+func WeakRankingSpace(d, c int) (Space, error) { return funcspace.WeakRanking(d, c) }
+
+// PolytopeSpace returns the utility space {u >= 0 : A u <= b} (a convex
+// polytope cone cross-section), the most general restriction supported.
+func PolytopeSpace(d int, a [][]float64, b []float64) (Space, error) {
+	return funcspace.NewPolytope(d, a, b)
+}
+
+// BallSpace returns the set of directions within L2 distance radius of the
+// (normalized) center vector — the "estimated vector plus uncertainty"
+// restriction of Mouratidis et al.
+func BallSpace(center []float64, radius float64) (Space, error) {
+	return funcspace.NewBall(center, radius)
+}
+
+// Algorithm selects a solver.
+type Algorithm string
+
+// Available algorithms. Auto picks TwoDRRM for d = 2 and HDRRM otherwise.
+const (
+	Auto            Algorithm = ""
+	AlgoTwoDRRM     Algorithm = "2drrm"  // exact DP, d = 2 only
+	AlgoHDRRM       Algorithm = "hdrrm"  // double approximation, any d
+	AlgoTwoDRRR     Algorithm = "2drrr"  // Asudeh et al. 2D baseline, d = 2 only
+	AlgoMDRRRr      Algorithm = "mdrrrr" // randomized k-set baseline
+	AlgoMDRC        Algorithm = "mdrc"   // space-partition heuristic baseline
+	AlgoMDRMS       Algorithm = "mdrms"  // regret-ratio (RMS) baseline
+	AlgoMDRRR       Algorithm = "mdrrr"  // deterministic k-set baseline (small n only)
+	AlgoRMSGreedy   Algorithm = "rms-greedy"
+	AlgoSkylineOnly Algorithm = "skyline" // returns the first r skyline tuples (naive)
+)
+
+// Options configures Solve. The zero value (and nil) mean: pick the
+// algorithm automatically, solve plain RRM with the paper's default
+// parameters, seed 1.
+type Options struct {
+	// Algorithm selects a solver; Auto picks by dimensionality.
+	Algorithm Algorithm
+	// Space restricts the utility space (nil = full orthant = RRM).
+	Space Space
+	// Gamma is HDRRM's polar-grid resolution (0 = paper default 6).
+	Gamma int
+	// Delta is HDRRM's error probability from Theorem 10 (0 = paper
+	// default 0.03). Smaller delta means more samples and lower regret.
+	Delta float64
+	// Samples overrides HDRRM's sample count m (0 = Theorem 10 formula).
+	Samples int
+	// MaxSamples caps the Theorem 10 formula so huge instances stay
+	// tractable (0 = library default 50 000; negative = uncapped).
+	MaxSamples int
+	// Seed drives all randomness. 0 means seed 1, so results are
+	// reproducible by default.
+	Seed int64
+	// Sampler overrides the user-preference distribution HDRRM samples
+	// its directions from (nil = uniform on the space), the paper's
+	// Section V.C generalization. See GaussianPreference and
+	// MixturePreference.
+	Sampler Sampler
+}
+
+// Sampler draws one utility direction; it models a non-uniform user
+// preference distribution for HDRRM (paper Section V.C).
+type Sampler = algohd.Sampler
+
+// GaussianPreference returns a Sampler around a central preference vector
+// with isotropic Gaussian noise sigma, projected back to the unit sphere.
+func GaussianPreference(center []float64, sigma float64) (Sampler, error) {
+	return algohd.GaussianPreference(center, sigma)
+}
+
+// MixturePreference returns a Sampler over a finite mixture of samplers
+// with the given non-negative weights — a population of user archetypes.
+func MixturePreference(weights []float64, samplers []Sampler) (Sampler, error) {
+	return algohd.MixturePreference(weights, samplers)
+}
+
+// HDRRMVariant selects an HDRRM ablation for SolveVariant: the zero value
+// is the full algorithm, and each field removes one ingredient (the forced
+// basis, the polar grid Db, or the sampled directions Da). Ablations give
+// up parts of Theorem 10's guarantee; see EXPERIMENTS.md.
+type HDRRMVariant = algohd.Variant
+
+// SolveVariant runs an HDRRM ablation (see HDRRMVariant). Library users
+// solving real problems should call Solve; this entry point exists for the
+// ablation benchmarks and for studying the algorithm's design choices.
+func SolveVariant(ds *Dataset, r int, opts *Options, v HDRRMVariant) (*Solution, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("rankregret: empty dataset")
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("rankregret: output size r = %d, need >= 1", r)
+	}
+	o := opts.orDefault()
+	res, err := algohd.HDRRMVariant(ds, r, o.hdOptions(), v)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+}
+
+func (o *Options) orDefault() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.Seed == 0 {
+		v.Seed = 1
+	}
+	return v
+}
+
+func (o Options) hdOptions() algohd.Options {
+	ho := algohd.DefaultOptions()
+	if o.Gamma > 0 {
+		ho.Gamma = o.Gamma
+	}
+	if o.Delta > 0 {
+		ho.Delta = o.Delta
+	}
+	if o.Samples > 0 {
+		ho.M = o.Samples
+	}
+	switch {
+	case o.MaxSamples > 0:
+		ho.MaxM = o.MaxSamples
+	case o.MaxSamples < 0:
+		ho.MaxM = 0
+	}
+	ho.Seed = o.Seed
+	ho.Space = o.Space
+	ho.Sampler = o.Sampler
+	return ho
+}
+
+// Solution is the output of Solve and SolveRRR.
+type Solution struct {
+	// IDs are the chosen tuple indices into the dataset, ascending.
+	IDs []int
+	// RankRegret is the solver's reported rank-regret of IDs: exact over
+	// the whole space for the 2D DP, or the guaranteed threshold k with
+	// respect to the discretized space for HDRRM (Theorem 10). Baselines
+	// report their internal bound or 0 when they have none. Use
+	// EvaluateRankRegret for an independent estimate.
+	RankRegret int
+	// Exact records whether RankRegret is exact over the full space.
+	Exact bool
+	// Algorithm is the solver that produced the solution.
+	Algorithm Algorithm
+}
+
+// ErrDimension is returned when a 2D-only solver is applied to d != 2.
+var ErrDimension = errors.New("rankregret: algorithm requires a 2-dimensional dataset")
+
+// Solve computes a size-r rank-regret minimizing subset of ds. With nil
+// opts it runs the paper's primary algorithm for the dataset's
+// dimensionality: the exact 2D dynamic program when d = 2, HDRRM otherwise.
+func Solve(ds *Dataset, r int, opts *Options) (*Solution, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("rankregret: empty dataset")
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("rankregret: output size r = %d, need >= 1", r)
+	}
+	o := opts.orDefault()
+	algo := o.Algorithm
+	if algo == Auto {
+		if ds.Dim() == 2 {
+			algo = AlgoTwoDRRM
+		} else {
+			algo = AlgoHDRRM
+		}
+	}
+	switch algo {
+	case AlgoTwoDRRM:
+		if ds.Dim() != 2 {
+			return nil, ErrDimension
+		}
+		var res algo2d.Result
+		var err error
+		if o.Space != nil {
+			res, err = algo2d.TwoDRRMRestricted(ds, r, o.Space)
+		} else {
+			res, err = algo2d.TwoDRRM(ds, r)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: algo}, nil
+	case AlgoTwoDRRR:
+		if ds.Dim() != 2 {
+			return nil, ErrDimension
+		}
+		if o.Space != nil {
+			return nil, errors.New("rankregret: 2DRRR baseline does not support restricted spaces")
+		}
+		res, err := algo2d.TwoDRRRBaselineForRRM(ds, r)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: algo}, nil
+	case AlgoHDRRM:
+		res, err := algohd.HDRRM(ds, r, o.hdOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
+	case AlgoMDRRRr:
+		res, err := algohd.MDRRRr(ds, r, o.hdOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
+	case AlgoMDRC:
+		if o.Space != nil {
+			return nil, errors.New("rankregret: MDRC does not support restricted spaces")
+		}
+		res, err := algohd.MDRC(ds, r)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
+	case AlgoMDRMS:
+		res, err := algohd.MDRMS(ds, r, o.hdOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
+	case AlgoMDRRR:
+		res, err := algohd.MDRRR(ds, r, o.hdOptions(), 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
+	case AlgoRMSGreedy:
+		res, err := algohd.RMSGreedy(ds, r, o.hdOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
+	case AlgoSkylineOnly:
+		ids, err := skylineCandidates(ds, o.Space)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) > r {
+			ids = ids[:r]
+		}
+		return &Solution{IDs: ids, Algorithm: algo}, nil
+	default:
+		return nil, fmt.Errorf("rankregret: unknown algorithm %q", algo)
+	}
+}
+
+// SolveRRR solves the dual rank-regret representative problem: the minimum
+// size set with rank-regret at most k. For d = 2 it is exact (a mode of the
+// 2D DP); in HD it runs HDRRM's ASMS solver once at threshold k, inheriting
+// its (1 + ln|D|) size approximation (Theorem 9).
+func SolveRRR(ds *Dataset, k int, opts *Options) (*Solution, error) {
+	if ds == nil || ds.N() == 0 {
+		return nil, errors.New("rankregret: empty dataset")
+	}
+	if k < 1 || k > ds.N() {
+		return nil, fmt.Errorf("rankregret: threshold k = %d out of range [1, %d]", k, ds.N())
+	}
+	o := opts.orDefault()
+	if ds.Dim() == 2 && (o.Algorithm == Auto || o.Algorithm == AlgoTwoDRRM) {
+		var res algo2d.Result
+		var ok bool
+		var err error
+		if o.Space != nil {
+			res, ok, err = algo2d.TwoDRRRExactRestricted(ds, k, o.Space)
+		} else {
+			res, ok, err = algo2d.TwoDRRRExact(ds, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("rankregret: no subset achieves rank-regret %d", k)
+		}
+		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRM}, nil
+	}
+	res, err := algohd.HDRRR(ds, k, o.hdOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+}
+
+func skylineCandidates(ds *Dataset, sp Space) ([]int, error) {
+	if sp == nil {
+		return skyline.Compute(ds), nil
+	}
+	return skyline.ComputeRestricted(ds, sp)
+}
+
+// Skyline returns the indices of the skyline (Pareto-optimal) tuples of ds,
+// the candidate set for RRM (Theorem 3).
+func Skyline(ds *Dataset) []int { return skyline.Compute(ds) }
+
+// RestrictedSkyline returns the U-skyline of ds under space (Definition 5),
+// the candidate set for RRRM.
+func RestrictedSkyline(ds *Dataset, space Space) ([]int, error) {
+	return skyline.ComputeRestricted(ds, space)
+}
+
+// TopK returns the indices of the k highest-utility tuples of ds for the
+// utility vector u, best first.
+func TopK(ds *Dataset, u []float64, k int) []int { return topk.TopK(ds, u, k, nil) }
+
+// Rank returns the 1-based rank of tuple id in ds under utility vector u.
+func Rank(ds *Dataset, u []float64, id int) int { return topk.Rank(ds, u, id, nil) }
+
+// EvaluateRankRegret estimates the rank-regret of the subset ids over space
+// (nil = full orthant) by sampling utility directions, the estimator the
+// paper uses to report output quality (100 000 samples there). For d = 2
+// with the full space, prefer EvaluateRankRegret2D which is exact.
+func EvaluateRankRegret(ds *Dataset, ids []int, space Space, samples int, seed int64) (int, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RankRegret(ds, ids, space, samples, seed)
+}
+
+// EvaluateRankRegretAdaptive estimates like EvaluateRankRegret but spends
+// half the budget refining around the worst directions found, which reaches
+// the true maximum with far fewer samples. Still a lower bound.
+func EvaluateRankRegretAdaptive(ds *Dataset, ids []int, space Space, samples int, seed int64) (int, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RankRegretAdaptive(ds, ids, space, samples, seed)
+}
+
+// EvaluateRankRegret2D computes the exact rank-regret of ids for a
+// 2-dimensional dataset via a plane sweep (space nil = full orthant).
+func EvaluateRankRegret2D(ds *Dataset, ids []int, space Space) (int, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RankRegret2DExact(ds, ids, space)
+}
+
+// EvaluateRegretRatio estimates the classical RMS regret-ratio of ids —
+// max over sampled u of 1 - w(u, S)/w(u, D) — for comparing against
+// regret-ratio minimizing baselines.
+func EvaluateRegretRatio(ds *Dataset, ids []int, space Space, samples int, seed int64) (float64, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RegretRatio(ds, ids, space, samples, seed)
+}
+
+// RatK estimates the k-ratio of ids (Section V.A): the fraction of utility
+// directions for which ids contains a top-k tuple.
+func RatK(ds *Dataset, ids []int, space Space, k, samples int, seed int64) (float64, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RatK(ds, ids, space, k, samples, seed)
+}
+
+// TopKSets2D enumerates, exactly, every distinct top-k set any linear
+// utility function can produce on a 2-dimensional dataset (the "k-sets" of
+// combinatorial geometry). A set of tuples hits every k-set if and only if
+// its rank-regret is at most k. The count grows super-linearly with n,
+// which is why the k-set based solvers do not scale — this primitive exists
+// for analysis and validation.
+func TopKSets2D(ds *Dataset, k int) ([][]int, error) { return algo2d.KSets2D(ds, k) }
+
+// RankRegretPercent normalizes a rank-regret to the paper's percentage
+// form: a rank of k in a dataset of n tuples is the top 100*k/n percent
+// ("highly cited papers rank in the top 1%").
+func RankRegretPercent(k, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 100 * float64(k) / float64(n)
+}
+
+// RatKCurve evaluates RatK for several thresholds in one sampling pass —
+// the cumulative distribution of the set's rank-regret over the space.
+func RatKCurve(ds *Dataset, ids []int, space Space, ks []int, samples int, seed int64) ([]float64, error) {
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	return eval.RatKCurve(ds, ids, space, ks, samples, seed)
+}
+
+// Workload generators (Borzsony-style synthetic data plus the simulated
+// real datasets; see DESIGN.md Section 5 for the substitution rationale).
+
+// GenerateIndependent returns n tuples with d independently uniform
+// attributes.
+func GenerateIndependent(seed int64, n, d int) *Dataset {
+	return dataset.Independent(xrand.New(seed), n, d)
+}
+
+// GenerateCorrelated returns n tuples whose attributes are positively
+// correlated (good tuples are good everywhere).
+func GenerateCorrelated(seed int64, n, d int) *Dataset {
+	return dataset.Correlated(xrand.New(seed), n, d)
+}
+
+// GenerateAnticorrelated returns n tuples whose attributes trade off
+// against each other, the hardest workload for representative queries.
+func GenerateAnticorrelated(seed int64, n, d int) *Dataset {
+	return dataset.Anticorrelated(xrand.New(seed), n, d)
+}
+
+// GenerateQuarterCircle returns the adversarial dataset of Theorem 2: n
+// points on the unit quarter circle, for which every size-r subset has
+// rank-regret Omega(n/r).
+func GenerateQuarterCircle(n, d int) *Dataset { return dataset.QuarterCircle(n, d) }
+
+// SimIsland returns a simulated stand-in for the paper's 2D Island dataset
+// (63 383 geographic points; pass n <= 0 for the full size).
+func SimIsland(seed int64, n int) *Dataset { return dataset.SimIsland(xrand.New(seed), n) }
+
+// SimNBA returns a simulated stand-in for the paper's 5-attribute NBA
+// dataset (21 961 player/season rows; pass n <= 0 for the full size).
+func SimNBA(seed int64, n int) *Dataset { return dataset.SimNBA(xrand.New(seed), n) }
+
+// SimWeather returns a simulated stand-in for the paper's 4-attribute
+// Weather dataset (178 080 rows; pass n <= 0 for the full size).
+func SimWeather(seed int64, n int) *Dataset { return dataset.SimWeather(xrand.New(seed), n) }
