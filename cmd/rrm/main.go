@@ -9,15 +9,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"github.com/rankregret/rankregret"
+	"github.com/rankregret/rankregret/internal/cliutil"
 )
 
 func main() {
@@ -40,6 +40,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "random seed")
 		samples   = flag.Int("eval-samples", 20000, "directions for the independent rank-regret estimate (0 = skip)")
 		format    = flag.String("format", "text", "output format: text or json")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
@@ -53,48 +54,36 @@ func run() error {
 		return fmt.Errorf("exactly one of -r and -k must be positive")
 	}
 
-	var neg []int
-	if *negate != "" {
-		for _, f := range strings.Split(*negate, ",") {
-			j, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				return fmt.Errorf("bad -negate entry %q: %w", f, err)
-			}
-			neg = append(neg, j)
-		}
-	}
-
-	src := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		src = f
-	}
-	ds, err := rankregret.ReadCSV(src, *header, neg)
+	neg, err := cliutil.ParseNegate(*negate)
 	if err != nil {
 		return err
 	}
-	if *normalize {
-		ds.Normalize()
+	ds, err := cliutil.LoadCSVFile(*in, *header, neg, *normalize)
+	if err != nil {
+		return err
 	}
 
 	opts := &rankregret.Options{Algorithm: rankregret.Algorithm(*algo), Seed: *seed}
 	if *spaceSpec != "" {
-		sp, err := parseSpace(*spaceSpec, ds.Dim())
+		sp, err := cliutil.ParseSpace(*spaceSpec, ds.Dim())
 		if err != nil {
 			return err
 		}
 		opts.Space = sp
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var sol *rankregret.Solution
 	if *r > 0 {
-		sol, err = rankregret.Solve(ds, *r, opts)
+		sol, err = rankregret.SolveContext(ctx, ds, *r, opts)
 	} else {
-		sol, err = rankregret.SolveRRR(ds, *k, opts)
+		sol, err = rankregret.SolveRRRContext(ctx, ds, *k, opts)
 	}
 	if err != nil {
 		return err
@@ -139,34 +128,6 @@ func run() error {
 		fmt.Println()
 	}
 	return nil
-}
-
-// parseSpace understands "weak:c" (weak-ranking cone) and "ball:r,c1,..,cd".
-func parseSpace(spec string, d int) (rankregret.Space, error) {
-	switch {
-	case strings.HasPrefix(spec, "weak:"):
-		c, err := strconv.Atoi(spec[len("weak:"):])
-		if err != nil {
-			return nil, fmt.Errorf("bad weak-ranking spec %q: %w", spec, err)
-		}
-		return rankregret.WeakRankingSpace(d, c)
-	case strings.HasPrefix(spec, "ball:"):
-		fields := strings.Split(spec[len("ball:"):], ",")
-		if len(fields) != d+1 {
-			return nil, fmt.Errorf("ball spec needs radius plus %d center coordinates", d)
-		}
-		vals := make([]float64, len(fields))
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad ball spec field %q: %w", f, err)
-			}
-			vals[i] = v
-		}
-		return rankregret.BallSpace(vals[1:], vals[0])
-	default:
-		return nil, fmt.Errorf("unknown space spec %q (want weak:c or ball:r,c1..cd)", spec)
-	}
 }
 
 // solutionJSON is the machine-readable output shape of -format json.

@@ -8,57 +8,8 @@ import (
 	"github.com/rankregret/rankregret"
 )
 
-func TestParseSpaceWeak(t *testing.T) {
-	sp, err := parseSpace("weak:2", 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sp.Dim() != 4 {
-		t.Errorf("dim = %d, want 4", sp.Dim())
-	}
-	// u[0] >= u[1] >= u[2] holds for this direction...
-	if !sp.ContainsDirection([]float64{0.5, 0.4, 0.3, 0.9}) {
-		t.Error("direction satisfying the weak ranking rejected")
-	}
-	// ...but not for this one.
-	if sp.ContainsDirection([]float64{0.1, 0.5, 0.3, 0.9}) {
-		t.Error("direction violating the weak ranking accepted")
-	}
-}
-
-func TestParseSpaceBall(t *testing.T) {
-	sp, err := parseSpace("ball:0.1,0.5,0.5", 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sp.Dim() != 2 {
-		t.Errorf("dim = %d, want 2", sp.Dim())
-	}
-	if !sp.ContainsDirection([]float64{0.5, 0.5}) {
-		t.Error("center direction rejected")
-	}
-	if sp.ContainsDirection([]float64{1, 0}) {
-		t.Error("far-away direction accepted")
-	}
-}
-
-func TestParseSpaceErrors(t *testing.T) {
-	cases := []struct {
-		spec string
-		d    int
-	}{
-		{"weak:x", 4},       // non-numeric c
-		{"ball:0.1,0.5", 2}, // wrong coordinate count
-		{"ball:0.1,a,b", 2}, // non-numeric fields
-		{"sphere:1", 2},     // unknown kind
-		{"", 2},             // empty
-	}
-	for _, tc := range cases {
-		if _, err := parseSpace(tc.spec, tc.d); err == nil {
-			t.Errorf("parseSpace(%q, %d) should fail", tc.spec, tc.d)
-		}
-	}
-}
+// Space-spec and negate-list parsing tests live in internal/cliutil, where
+// the parsing moved.
 
 func TestWriteJSON(t *testing.T) {
 	ds, err := rankregret.NewDataset([][]float64{{0, 1}, {1, 0}, {0.6, 0.7}})

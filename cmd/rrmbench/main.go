@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"github.com/rankregret/rankregret/internal/bench"
+	"github.com/rankregret/rankregret/internal/cliutil"
 )
 
 func main() {
@@ -27,11 +28,12 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.String("fig", "", "figure id (e.g. fig13, table1) or 'all'")
-		list   = flag.Bool("list", false, "list available figures and exit")
-		scale  = flag.String("scale", "ci", "ci (laptop sizes) or paper (paper's axis ranges)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "table", "output format: table or csv")
+		fig        = flag.String("fig", "", "figure id (e.g. fig13, table1) or 'all'")
+		list       = flag.Bool("list", false, "list available figures and exit")
+		scale      = flag.String("scale", "ci", "ci (laptop sizes) or paper (paper's axis ranges)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "table", "output format: table or csv")
+		engineJSON = flag.String("engine-json", "", "run the engine benchmark (solve latency + cache throughput) and write JSON to this path (- = stdout)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -46,6 +48,14 @@ func run() error {
 		sc = bench.PaperScale
 	default:
 		return fmt.Errorf("unknown scale %q (want ci or paper)", *scale)
+	}
+
+	if *engineJSON != "" {
+		res, err := bench.EngineBench(sc, *seed)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteJSONFile(*engineJSON, res)
 	}
 
 	if *list {

@@ -1,0 +1,103 @@
+// Command rrmd serves rank-regret minimization queries over HTTP: a
+// named-dataset registry, solver dispatch through the engine's algorithm
+// registry, a shared LRU solution cache, and per-request timeouts.
+//
+// Datasets load from CSV at startup (-load, repeatable) or at runtime
+// (POST /v1/datasets); -demo preloads the paper's simulated datasets.
+//
+//	rrmd -addr :8080 -load cars=cars.csv -header
+//	rrmd -demo
+//
+//	curl localhost:8080/v1/datasets
+//	curl -X POST localhost:8080/v1/solve -d '{"dataset":"cars","r":5}'
+//
+// Endpoints: GET /healthz, GET /v1/algorithms, GET /v1/datasets,
+// POST /v1/datasets, GET /v1/datasets/{name}, POST /v1/solve,
+// POST /v1/evaluate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/cliutil"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var loads []string
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		header    = flag.Bool("header", false, "loaded CSVs have a header record")
+		negate    = flag.String("negate", "", "comma-separated 0-based columns where smaller is better (applies to all -load files)")
+		normalize = flag.Bool("normalize", true, "min-max normalize attributes to [0,1]")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request solve timeout ceiling")
+		maxUpload = flag.Int64("max-upload", 64<<20, "maximum POST /v1/datasets body size in bytes")
+		cacheSize = flag.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
+		demo      = flag.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
+		seed      = flag.Int64("seed", 1, "seed for -demo dataset generation")
+	)
+	flag.Func("load", "name=path of a CSV dataset to load at startup (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	neg, err := cliutil.ParseNegate(*negate)
+	if err != nil {
+		return err
+	}
+
+	srv := NewServer(*cacheSize, *timeout)
+	srv.MaxUploadBytes = *maxUpload
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("bad -load spec %q (want name=path)", spec)
+		}
+		ds, err := cliutil.LoadCSVFile(path, *header, neg, *normalize)
+		if err != nil {
+			return fmt.Errorf("loading %q: %w", spec, err)
+		}
+		if err := srv.AddDataset(name, ds); err != nil {
+			return err
+		}
+		log.Printf("loaded dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
+	}
+	if *demo {
+		for name, ds := range map[string]*dataset.Dataset{
+			"simisland":  dataset.SimIsland(xrand.New(*seed), 0),
+			"simnba":     dataset.SimNBA(xrand.New(*seed), 0),
+			"simweather": dataset.SimWeather(xrand.New(*seed), 0),
+		} {
+			if err := srv.AddDataset(name, ds); err != nil {
+				return err
+			}
+			log.Printf("loaded demo dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
+		}
+	}
+
+	log.Printf("rrmd listening on %s (timeout=%s)", *addr, *timeout)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Solve responses can legitimately take up to the solve timeout, so
+		// only the header read and idle keep-alives get tight bounds.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
+}

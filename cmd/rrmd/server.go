@@ -1,0 +1,419 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/cliutil"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/eval"
+	"github.com/rankregret/rankregret/internal/funcspace"
+)
+
+// Server is the rrmd serving core: a named-dataset registry in front of a
+// solver engine. It is safe for concurrent use; every handler may run on
+// many goroutines at once.
+type Server struct {
+	eng        *engine.Engine
+	maxTimeout time.Duration
+
+	// MaxUploadBytes bounds the size of a POST /v1/datasets body.
+	MaxUploadBytes int64
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset.Dataset
+}
+
+// NewServer returns a Server with its own engine (cacheSize 0 = engine
+// default) and a per-request timeout ceiling (0 = 60s).
+func NewServer(cacheSize int, maxTimeout time.Duration) *Server {
+	if maxTimeout <= 0 {
+		maxTimeout = 60 * time.Second
+	}
+	return &Server{
+		eng:            engine.New(cacheSize),
+		maxTimeout:     maxTimeout,
+		MaxUploadBytes: 64 << 20, // 64 MiB
+		datasets:       make(map[string]*dataset.Dataset),
+	}
+}
+
+// AddDataset registers ds under name, replacing any previous dataset with
+// that name.
+func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
+	if name == "" {
+		return errors.New("rrmd: dataset name must be non-empty")
+	}
+	if ds == nil || ds.N() == 0 {
+		return errors.New("rrmd: dataset is empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = ds
+	return nil
+}
+
+func (s *Server) dataset(name string) (*dataset.Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+// Handler returns the daemon's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	return mux
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeOK(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeOK(w, http.StatusOK, map[string]any{"ok": true, "cache": s.eng.CacheStats()})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeOK(w, http.StatusOK, map[string]any{"algorithms": engine.Algorithms()})
+}
+
+// datasetInfo is the wire shape of one registry entry.
+type datasetInfo struct {
+	Name        string   `json:"name"`
+	N           int      `json:"n"`
+	D           int      `json:"d"`
+	Attrs       []string `json:"attrs"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+func info(name string, ds *dataset.Dataset) datasetInfo {
+	return datasetInfo{
+		Name:        name,
+		N:           ds.N(),
+		D:           ds.Dim(),
+		Attrs:       ds.Attrs(),
+		Fingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+	}
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]datasetInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, info(name, s.datasets[name]))
+	}
+	s.mu.RUnlock()
+	writeOK(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ds, ok := s.dataset(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	writeOK(w, http.StatusOK, info(name, ds))
+}
+
+// handleUploadDataset registers a CSV posted as the request body:
+//
+//	POST /v1/datasets?name=cars&header=1&negate=0,2&normalize=1
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing name query parameter"))
+		return
+	}
+	neg, err := cliutil.ParseNegate(q.Get("negate"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	header := q.Get("header") == "1" || q.Get("header") == "true"
+	normalize := true
+	if v := q.Get("normalize"); v == "0" || v == "false" {
+		normalize = false
+	}
+	ds, err := cliutil.LoadCSV(http.MaxBytesReader(w, r.Body, s.MaxUploadBytes), header, neg, normalize)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AddDataset(name, ds); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeOK(w, http.StatusCreated, info(name, ds))
+}
+
+// solveRequest is the wire shape of POST /v1/solve. Exactly one of R
+// (primal RRM: at most r tuples, minimum rank-regret) and K (dual RRR:
+// minimum tuples, rank-regret at most k) must be positive.
+type solveRequest struct {
+	Dataset     string  `json:"dataset"`
+	R           int     `json:"r,omitempty"`
+	K           int     `json:"k,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Space       string  `json:"space,omitempty"`
+	Gamma       int     `json:"gamma,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	Samples     int     `json:"samples,omitempty"`
+	MaxSamples  int     `json:"max_samples,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	EvalSamples int     `json:"eval_samples,omitempty"`
+	TimeoutMS   int64   `json:"timeout_ms,omitempty"`
+}
+
+// solveResponse is the wire shape of a successful solve.
+type solveResponse struct {
+	Dataset    string            `json:"dataset"`
+	Algorithm  string            `json:"algorithm"`
+	IDs        []int             `json:"ids"`
+	RankRegret int               `json:"rank_regret"`
+	Exact      bool              `json:"exact"`
+	Estimated  *int              `json:"estimated_rank_regret,omitempty"`
+	Percent    *float64          `json:"estimated_percent,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Cache      engine.CacheStats `json:"cache"`
+}
+
+// reqSetup resolves the pieces a solve/evaluate request shares: the
+// dataset, the parsed space, and the bounded request context.
+func (s *Server) reqSetup(r *http.Request, name, spec string, timeoutMS int64) (*dataset.Dataset, funcspace.Space, context.Context, context.CancelFunc, int, error) {
+	ds, ok := s.dataset(name)
+	if !ok {
+		return nil, nil, nil, nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+	}
+	var sp funcspace.Space
+	if spec != "" {
+		var err error
+		sp, err = cliutil.ParseSpace(spec, ds.Dim())
+		if err != nil {
+			return nil, nil, nil, nil, http.StatusBadRequest, err
+		}
+	}
+	timeout := s.maxTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ds, sp, ctx, cancel, 0, nil
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if (req.R > 0) == (req.K > 0) {
+		writeErr(w, http.StatusBadRequest, errors.New("exactly one of r and k must be positive"))
+		return
+	}
+	ds, sp, ctx, cancel, status, err := s.reqSetup(r, req.Dataset, req.Space, req.TimeoutMS)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	defer cancel()
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := engine.Options{
+		Space:      sp,
+		SpaceKey:   req.Space,
+		CacheSalt:  req.Dataset,
+		Gamma:      req.Gamma,
+		Delta:      req.Delta,
+		Samples:    req.Samples,
+		MaxSamples: req.MaxSamples,
+		Seed:       seed,
+	}
+	start := time.Now()
+	type outcome struct {
+		sol *engine.Solution
+		est *int
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		if req.R > 0 {
+			o.sol, o.err = s.eng.Solve(ctx, ds, req.R, req.Algorithm, opts)
+		} else {
+			o.sol, o.err = s.eng.SolveRRR(ctx, ds, req.K, req.Algorithm, opts)
+		}
+		if o.err == nil && req.EvalSamples > 0 {
+			space := sp
+			if space == nil {
+				space = funcspace.NewFull(ds.Dim())
+			}
+			est, err := eval.RankRegretCtx(ctx, ds, o.sol.IDs, space, clampSamples(req.EvalSamples), seed+7)
+			if err != nil {
+				o.err = err
+			} else {
+				o.est = &est
+			}
+		}
+		done <- o
+	}()
+	// Context-aware solvers abort from inside their hot loops; the select
+	// additionally bounds the client's wait for solvers (and the sampling
+	// estimator) that do not check ctx — the goroutine then finishes in the
+	// background and is dropped.
+	var o outcome
+	select {
+	case o = <-done:
+	case <-ctx.Done():
+		o.err = ctx.Err()
+	}
+	if o.err != nil {
+		writeErr(w, statusOf(o.err), o.err)
+		return
+	}
+	resp := solveResponse{
+		Dataset:    req.Dataset,
+		Algorithm:  o.sol.Algorithm,
+		IDs:        o.sol.IDs,
+		RankRegret: o.sol.RankRegret,
+		Exact:      o.sol.Exact,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Cache:      s.eng.CacheStats(),
+	}
+	if o.est != nil {
+		pct := 100 * float64(*o.est) / float64(ds.N())
+		resp.Estimated = o.est
+		resp.Percent = &pct
+	}
+	writeOK(w, http.StatusOK, resp)
+}
+
+// maxEvalSamples caps client-supplied sampling budgets so a single request
+// cannot pin a CPU for hours.
+const maxEvalSamples = 1_000_000
+
+func clampSamples(n int) int {
+	if n > maxEvalSamples {
+		return maxEvalSamples
+	}
+	return n
+}
+
+// evaluateRequest is the wire shape of POST /v1/evaluate: an independent
+// sampled rank-regret estimate for a caller-chosen tuple set.
+type evaluateRequest struct {
+	Dataset   string `json:"dataset"`
+	IDs       []int  `json:"ids"`
+	Space     string `json:"space,omitempty"`
+	Samples   int    `json:"samples,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
+		return
+	}
+	ds, sp, ctx, cancel, status, err := s.reqSetup(r, req.Dataset, req.Space, req.TimeoutMS)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	defer cancel()
+	for _, id := range req.IDs {
+		if id < 0 || id >= ds.N() {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("tuple id %d out of range [0, %d)", id, ds.N()))
+			return
+		}
+	}
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 20000
+	}
+	samples = clampSamples(samples)
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	space := sp
+	if space == nil {
+		space = funcspace.NewFull(ds.Dim())
+	}
+	type outcome struct {
+		est int
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		est, err := eval.RankRegretCtx(ctx, ds, req.IDs, space, samples, seed)
+		done <- outcome{est, err}
+	}()
+	// The estimator checks ctx, so a timed-out request's goroutine stops
+	// shortly after the select returns instead of burning CPU to completion.
+	var o outcome
+	select {
+	case o = <-done:
+	case <-ctx.Done():
+		o.err = ctx.Err()
+	}
+	if o.err != nil {
+		writeErr(w, statusOf(o.err), o.err)
+		return
+	}
+	writeOK(w, http.StatusOK, map[string]any{
+		"dataset":     req.Dataset,
+		"rank_regret": o.est,
+		"percent":     100 * float64(o.est) / float64(ds.N()),
+		"samples":     samples,
+	})
+}

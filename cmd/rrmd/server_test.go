@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(0, 30*time.Second)
+	if err := srv.AddDataset("island", dataset.SimIsland(xrand.New(1), 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("nba", dataset.SimNBA(xrand.New(1), 800)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestSolveMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{Dataset: "island", R: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got solveResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := rankregret.Solve(dataset.SimIsland(xrand.New(1), 400), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.IDs, want.IDs) || got.RankRegret != want.RankRegret || !got.Exact {
+		t.Errorf("daemon solve = %+v, library solve = %+v", got, want)
+	}
+	if got.Algorithm != "2drrm" {
+		t.Errorf("auto algorithm = %q, want 2drrm", got.Algorithm)
+	}
+}
+
+// TestConcurrentSolves hammers /v1/solve from 40 goroutines — beyond the
+// acceptance bar of 32 — mixing cache-identical and distinct requests, and
+// checks every response against the library answer computed directly.
+func TestConcurrentSolves(t *testing.T) {
+	_, ts := newTestServer(t)
+	ds := dataset.SimIsland(xrand.New(1), 400)
+	want := make(map[int][]int)
+	for r := 2; r <= 6; r++ {
+		sol, err := rankregret.Solve(ds, r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r] = sol.IDs
+	}
+
+	const workers = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		r := 2 + i%5
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, _ := json.Marshal(solveRequest{Dataset: "island", R: r})
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var got solveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if !reflect.DeepEqual(got.IDs, want[r]) {
+				errs <- fmt.Errorf("r=%d: ids %v, want %v", r, got.IDs, want[r])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSolveCache verifies a re-solve with identical parameters is answered
+// from the engine cache: the hit counter moves and the IDs are identical.
+func TestSolveCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := solveRequest{Dataset: "nba", R: 8, Algorithm: "hdrrm", MaxSamples: 2000}
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: status %d: %s", resp1.StatusCode, body1)
+	}
+	var first solveResponse
+	if err := json.Unmarshal(body1, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second solve: status %d: %s", resp2.StatusCode, body2)
+	}
+	var second solveResponse
+	if err := json.Unmarshal(body2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.IDs, second.IDs) {
+		t.Errorf("cached re-solve ids %v != %v", second.IDs, first.IDs)
+	}
+	if second.Cache.Hits <= first.Cache.Hits {
+		t.Errorf("cache hits did not increase: first %+v, second %+v", first.Cache, second.Cache)
+	}
+}
+
+// TestSolveTimeout asserts a tiny per-request timeout aborts a large HDRRM
+// solve long before it could complete.
+func TestSolveTimeout(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.AddDataset("weather", dataset.SimWeather(xrand.New(1), 120000)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		Dataset: "weather", R: 10, Algorithm: "hdrrm", TimeoutMS: 50,
+	})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("timed-out solve took %v, want well under the full solve time", elapsed)
+	}
+}
+
+func TestUploadListEvaluate(t *testing.T) {
+	_, ts := newTestServer(t)
+	const csvData = "a,b\n1,9\n9,1\n6,7\n2,2\n"
+	resp, err := http.Post(ts.URL+"/v1/datasets?name=tiny&header=1", "text/csv", strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	listResp, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(list.Datasets))
+	for i, d := range list.Datasets {
+		names[i] = d.Name
+	}
+	if !reflect.DeepEqual(names, []string{"island", "nba", "tiny"}) {
+		t.Errorf("dataset names = %v", names)
+	}
+
+	sResp, sBody := postJSON(t, ts.URL+"/v1/solve", solveRequest{Dataset: "tiny", R: 2, EvalSamples: 2000})
+	if sResp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", sResp.StatusCode, sBody)
+	}
+	var sol solveResponse
+	if err := json.Unmarshal(sBody, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Estimated == nil {
+		t.Fatal("eval_samples > 0 should include an estimate")
+	}
+
+	eResp, eBody := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{Dataset: "tiny", IDs: sol.IDs, Samples: 2000})
+	if eResp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d: %s", eResp.StatusCode, eBody)
+	}
+	var ev struct {
+		RankRegret int `json:"rank_regret"`
+	}
+	if err := json.Unmarshal(eBody, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.RankRegret < 1 || ev.RankRegret > 4 {
+		t.Errorf("evaluated rank-regret %d out of range", ev.RankRegret)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		req    solveRequest
+		status int
+	}{
+		{"both r and k", solveRequest{Dataset: "island", R: 5, K: 5}, http.StatusBadRequest},
+		{"neither r nor k", solveRequest{Dataset: "island"}, http.StatusBadRequest},
+		{"unknown dataset", solveRequest{Dataset: "nope", R: 5}, http.StatusNotFound},
+		{"bad space", solveRequest{Dataset: "island", R: 5, Space: "sphere:1"}, http.StatusBadRequest},
+		{"unknown algorithm", solveRequest{Dataset: "island", R: 5, Algorithm: "quantum"}, http.StatusUnprocessableEntity},
+		{"2d-only on 5d", solveRequest{Dataset: "nba", R: 5, Algorithm: "2drrm"}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/solve", tc.req)
+			if resp.StatusCode != tc.status {
+				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+		})
+	}
+}

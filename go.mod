@@ -1,0 +1,3 @@
+module github.com/rankregret/rankregret
+
+go 1.24

@@ -15,9 +15,11 @@
 package algo2d
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
@@ -76,7 +78,7 @@ func Lines(ds *dataset.Dataset) []geom.Line {
 // given candidate tuple ids and chain budget r. It returns, for every budget
 // h in 1..r, the best achievable maximum rank and the corresponding chain
 // (bestRank[h], bestChain[h]; index 0 unused).
-func runDP(lines []geom.Line, cand []int, c0, c1 float64, r int) (bestRank []int, bestChain []*chainNode) {
+func runDP(ctx context.Context, lines []geom.Line, cand []int, c0, c1 float64, r int) (bestRank []int, bestChain []*chainNode, err error) {
 	s := len(cand)
 	if r > s {
 		r = s
@@ -105,7 +107,12 @@ func runDP(lines []geom.Line, cand []int, c0, c1 float64, r int) (bestRank []int
 	cur := make([]int, len(lines))
 	copy(cur, ranks)
 
-	for _, e := range events {
+	for ei, e := range events {
+		if ei%8192 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return nil, nil, err
+			}
+		}
 		up, down := int(e.Up), int(e.Down)
 		if isCand[up] {
 			cur[up]++
@@ -151,7 +158,7 @@ func runDP(lines []geom.Line, cand []int, c0, c1 float64, r int) (bestRank []int
 			}
 		}
 	}
-	return bestRank, bestChain
+	return bestRank, bestChain, nil
 }
 
 // uniqueSorted deduplicates and sorts chain line ids into tuple ids.
@@ -176,13 +183,25 @@ func uniqueSorted(ids []int) []int {
 // r tuples minimizing the maximum rank over all linear utility functions,
 // along with that exact optimal rank-regret.
 func TwoDRRM(ds *dataset.Dataset, r int) (Result, error) {
-	return TwoDRRMRestricted(ds, r, funcspace.NewFull(2))
+	return TwoDRRMRestrictedCtx(nil, ds, r, funcspace.NewFull(2))
+}
+
+// TwoDRRMCtx is TwoDRRM with cooperative cancellation in the DP sweep.
+func TwoDRRMCtx(ctx context.Context, ds *dataset.Dataset, r int) (Result, error) {
+	return TwoDRRMRestrictedCtx(ctx, ds, r, funcspace.NewFull(2))
 }
 
 // TwoDRRMRestricted solves RRRM exactly in 2D: the same dynamic program run
 // over the rendered segment of the restricted space (Section IV.C), with
 // U-skyline candidates.
 func TwoDRRMRestricted(ds *dataset.Dataset, r int, space funcspace.Space) (Result, error) {
+	return TwoDRRMRestrictedCtx(nil, ds, r, space)
+}
+
+// TwoDRRMRestrictedCtx is TwoDRRMRestricted with cooperative cancellation
+// in the DP sweep: every few thousand crossing events the sweep checks ctx
+// and aborts with ctx.Err().
+func TwoDRRMRestrictedCtx(ctx context.Context, ds *dataset.Dataset, r int, space funcspace.Space) (Result, error) {
 	if ds.Dim() != 2 {
 		return Result{}, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
 	}
@@ -204,7 +223,10 @@ func TwoDRRMRestricted(ds *dataset.Dataset, r int, space funcspace.Space) (Resul
 		return Result{}, fmt.Errorf("algo2d: no candidate tuples (empty U-skyline)")
 	}
 	lines := Lines(ds)
-	bestRank, bestChain := runDP(lines, cand, c0, c1, r)
+	bestRank, bestChain, err := runDP(ctx, lines, cand, c0, c1, r)
+	if err != nil {
+		return Result{}, err
+	}
 	h := r
 	if h > len(bestRank)-1 {
 		h = len(bestRank) - 1
@@ -219,6 +241,12 @@ func TwoDRRMRestricted(ds *dataset.Dataset, r int, space funcspace.Space) (Resul
 // rank <= k. ok is false if even the full candidate set cannot achieve k
 // (k < the dataset's intrinsic minimum).
 func TwoDRRRExact(ds *dataset.Dataset, k int) (res Result, ok bool, err error) {
+	return TwoDRRRExactCtx(nil, ds, k)
+}
+
+// TwoDRRRExactCtx is TwoDRRRExact with cooperative cancellation in the DP
+// sweep.
+func TwoDRRRExactCtx(ctx context.Context, ds *dataset.Dataset, k int) (res Result, ok bool, err error) {
 	if ds.Dim() != 2 {
 		return Result{}, false, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
 	}
@@ -231,7 +259,10 @@ func TwoDRRRExact(ds *dataset.Dataset, k int) (res Result, ok bool, err error) {
 		if r > len(cand) {
 			r = len(cand)
 		}
-		bestRank, bestChain := runDP(lines, cand, 0, 1, r)
+		bestRank, bestChain, err := runDP(ctx, lines, cand, 0, 1, r)
+		if err != nil {
+			return Result{}, false, err
+		}
 		for h := 1; h < len(bestRank); h++ {
 			if bestRank[h] <= k {
 				chain := bestChain[h].collect()

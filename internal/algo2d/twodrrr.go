@@ -1,10 +1,12 @@
 package algo2d
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
@@ -64,6 +66,12 @@ func ExactRankRegret(ds *dataset.Dataset, ids []int, c0, c1 float64) (int, error
 // Greedy interval cover: from the current position pick, among the tuples
 // ranked <= k there, the one that stays ranked <= 2k the furthest.
 func TwoDRRRBaseline(ds *dataset.Dataset, k int) (Result, error) {
+	return TwoDRRRBaselineCtx(nil, ds, k)
+}
+
+// TwoDRRRBaselineCtx is TwoDRRRBaseline with cooperative cancellation in
+// the greedy interval-cover loop.
+func TwoDRRRBaselineCtx(ctx context.Context, ds *dataset.Dataset, k int) (Result, error) {
 	if ds.Dim() != 2 {
 		return Result{}, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
 	}
@@ -113,6 +121,9 @@ func TwoDRRRBaseline(ds *dataset.Dataset, k int) (Result, error) {
 	picked := make(map[int]bool)
 	x0 := 0.0
 	for {
+		if err := ctxutil.Cancelled(ctx); err != nil {
+			return Result{}, err
+		}
 		ranks := sweep.InitialRanks(lines, x0)
 		bestT, bestReach := -1, -1.0
 		for t := 0; t < n; t++ {
@@ -152,6 +163,12 @@ func TwoDRRRBaseline(ds *dataset.Dataset, k int) (Result, error) {
 // in r tuples, then binary search (k/2, k]. The returned rank-regret is the
 // exact regret of the chosen set (at most 2k by the baseline's guarantee).
 func TwoDRRRBaselineForRRM(ds *dataset.Dataset, r int) (Result, error) {
+	return TwoDRRRBaselineForRRMCtx(nil, ds, r)
+}
+
+// TwoDRRRBaselineForRRMCtx is TwoDRRRBaselineForRRM with cooperative
+// cancellation checked in every binary-search round.
+func TwoDRRRBaselineForRRMCtx(ctx context.Context, ds *dataset.Dataset, r int) (Result, error) {
 	if r < 1 {
 		return Result{}, fmt.Errorf("algo2d: output size %d, need >= 1", r)
 	}
@@ -159,7 +176,7 @@ func TwoDRRRBaselineForRRM(ds *dataset.Dataset, r int) (Result, error) {
 	var fit Result
 	k := 1
 	for {
-		res, err := TwoDRRRBaseline(ds, k)
+		res, err := TwoDRRRBaselineCtx(ctx, ds, k)
 		if err != nil {
 			return Result{}, err
 		}
@@ -180,7 +197,7 @@ func TwoDRRRBaselineForRRM(ds *dataset.Dataset, r int) (Result, error) {
 	low, high := k/2+1, k
 	for low < high {
 		mid := (low + high) / 2
-		res, err := TwoDRRRBaseline(ds, mid)
+		res, err := TwoDRRRBaselineCtx(ctx, ds, mid)
 		if err != nil {
 			return Result{}, err
 		}
@@ -199,6 +216,12 @@ func TwoDRRRBaselineForRRM(ds *dataset.Dataset, r int) (Result, error) {
 // minimum-size set whose rank-regret over the rendered segment of the space
 // is at most k. ok is false when even the full U-skyline cannot achieve k.
 func TwoDRRRExactRestricted(ds *dataset.Dataset, k int, space funcspace.Space) (res Result, ok bool, err error) {
+	return TwoDRRRExactRestrictedCtx(nil, ds, k, space)
+}
+
+// TwoDRRRExactRestrictedCtx is TwoDRRRExactRestricted with cooperative
+// cancellation in the DP sweep.
+func TwoDRRRExactRestrictedCtx(ctx context.Context, ds *dataset.Dataset, k int, space funcspace.Space) (res Result, ok bool, err error) {
 	if ds.Dim() != 2 {
 		return Result{}, false, fmt.Errorf("algo2d: dataset dimension %d, need 2", ds.Dim())
 	}
@@ -221,7 +244,10 @@ func TwoDRRRExactRestricted(ds *dataset.Dataset, k int, space funcspace.Space) (
 		if r > len(cand) {
 			r = len(cand)
 		}
-		bestRank, bestChain := runDP(lines, cand, c0, c1, r)
+		bestRank, bestChain, err := runDP(ctx, lines, cand, c0, c1, r)
+		if err != nil {
+			return Result{}, false, err
+		}
 		for h := 1; h < len(bestRank); h++ {
 			if bestRank[h] <= k {
 				chain := bestChain[h].collect()

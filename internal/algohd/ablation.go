@@ -1,6 +1,7 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/rankregret/rankregret/internal/dataset"
@@ -46,6 +47,12 @@ func (v Variant) Name() string {
 // HDRRMVariant runs HDRRM with the given ingredients removed. It is meant
 // for ablation benchmarks; library users should call HDRRM.
 func HDRRMVariant(ds *dataset.Dataset, r int, opts Options, v Variant) (Result, error) {
+	return HDRRMVariantCtx(nil, ds, r, opts, v)
+}
+
+// HDRRMVariantCtx is HDRRMVariant with cooperative cancellation (see
+// HDRRMCtx).
+func HDRRMVariantCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options, v Variant) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -70,7 +77,7 @@ func HDRRMVariant(ds *dataset.Dataset, r int, opts Options, v Variant) (Result, 
 	if v.NoGrid {
 		effGamma = 1 // the minimal grid: axis directions only...
 	}
-	vs, err := BuildVecSetSampled(ds, space, effGamma, m, rng, opts.Sampler)
+	vs, err := BuildVecSetSampledCtx(ctx, ds, space, effGamma, m, rng, opts.Sampler)
 	if err != nil {
 		return Result{}, err
 	}
@@ -88,6 +95,9 @@ func HDRRMVariant(ds *dataset.Dataset, r int, opts Options, v Variant) (Result, 
 			return Result{}, fmt.Errorf("algohd: budget r=%d smaller than basis size %d (need r >= d)", r, len(basis))
 		}
 	}
-	ids, bestK := searchSmallestK(ds, r, basis, vs)
+	ids, bestK, err := searchSmallestK(ctx, ds, r, basis, vs)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{IDs: ids, K: bestK, VecCount: vs.Len()}, nil
 }

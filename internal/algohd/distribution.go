@@ -1,8 +1,10 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
@@ -86,8 +88,14 @@ func MixturePreference(weights []float64, samplers []Sampler) (Sampler, error) {
 // the space are rejected and redrawn, so the restricted-space contract of
 // Section V.C holds for any distribution.
 func BuildVecSetSampled(ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand, sample Sampler) (*VecSet, error) {
+	return BuildVecSetSampledCtx(nil, ds, space, gamma, m, rng, sample)
+}
+
+// BuildVecSetSampledCtx is BuildVecSetSampled with cooperative cancellation
+// in the rejection-sampling loop.
+func BuildVecSetSampledCtx(ctx context.Context, ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand, sample Sampler) (*VecSet, error) {
 	if sample == nil {
-		return BuildVecSet(ds, space, gamma, m, rng)
+		return BuildVecSetCtx(ctx, ds, space, gamma, m, rng)
 	}
 	d := ds.Dim()
 	if space == nil {
@@ -96,13 +104,18 @@ func BuildVecSetSampled(ds *dataset.Dataset, space funcspace.Space, gamma, m int
 	if space.Dim() != d {
 		return nil, fmt.Errorf("algohd: space dim %d, dataset dim %d", space.Dim(), d)
 	}
-	base, err := BuildVecSet(ds, space, gamma, 0, rng)
+	base, err := BuildVecSetCtx(ctx, ds, space, gamma, 0, rng)
 	if err != nil {
 		return nil, err
 	}
 	vecs := base.Vecs
 	const maxRejects = 4096
 	for i := 0; i < m; i++ {
+		if i%256 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		var u geom.Vector
 		for tries := 0; ; tries++ {
 			u = sample(rng)

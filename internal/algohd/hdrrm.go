@@ -1,10 +1,12 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/setcover"
@@ -94,7 +96,22 @@ func uniqueInts(ids []int) []int {
 // whose rank-regret with respect to the discrete vector set D is at most k,
 // with |Q| <= (1 + ln|D|)·r* + d (Theorem 9).
 func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
-	vs.EnsureTopK(k)
+	q, err := ASMSCtx(nil, ds, k, basis, vs)
+	if err != nil {
+		// Unreachable: a nil ctx never cancels and cancellation is the only
+		// error ASMSCtx can produce.
+		panic(err)
+	}
+	return q
+}
+
+// ASMSCtx is ASMS with cooperative cancellation: the top-K build, the
+// coverage scan, and the greedy set-cover rounds all check ctx and abort
+// with ctx.Err().
+func ASMSCtx(ctx context.Context, ds *dataset.Dataset, k int, basis []int, vs *VecSet) ([]int, error) {
+	if err := vs.EnsureTopKCtx(ctx, k); err != nil {
+		return nil, err
+	}
 	inBasis := make(map[int]bool, len(basis))
 	for _, b := range basis {
 		inBasis[b] = true
@@ -103,6 +120,11 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 	var dk []int // indices into vs.Vecs
 	coverOf := make(map[int][]int)
 	for v := 0; v < vs.Len(); v++ {
+		if v%4096 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		top := vs.Top(v, k)
 		covered := false
 		for _, t := range top {
@@ -121,7 +143,7 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 		}
 	}
 	if len(dk) == 0 {
-		return uniqueInts(append([]int(nil), basis...))
+		return uniqueInts(append([]int(nil), basis...)), nil
 	}
 	// Set cover over the universe Dk.
 	tuples := make([]int, 0, len(coverOf))
@@ -142,7 +164,10 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 		sortedTuples[i] = tuples[o]
 		sortedSets[i] = sets[o]
 	}
-	chosen, ok := setcover.Greedy(len(dk), sortedSets)
+	chosen, ok, err := setcover.GreedyCtx(ctx, len(dk), sortedSets)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		// Cannot happen: every vector's own top-1 tuple covers it.
 		panic("algohd: ASMS universe not coverable")
@@ -151,7 +176,7 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 	for _, ci := range chosen {
 		q = append(q, sortedTuples[ci])
 	}
-	return uniqueInts(q)
+	return uniqueInts(q), nil
 }
 
 // HDRRM is the paper's Algorithm 3: it returns a set of at most r tuples
@@ -161,6 +186,13 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 // (Section V.C): Da is sampled from U and Db keeps only directions whose ray
 // meets U.
 func HDRRM(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	return HDRRMCtx(nil, ds, r, opts)
+}
+
+// HDRRMCtx is HDRRM with cooperative cancellation plumbed through the
+// vector-set build, the per-vector top-K lists, and the ASMS set-cover
+// rounds. It returns ctx.Err() as soon as a hot loop observes cancellation.
+func HDRRMCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -175,7 +207,7 @@ func HDRRM(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	space := opts.space(d)
 	rng := xrand.New(opts.Seed)
 	m := opts.sampleSize(n, d, r)
-	vs, err := BuildVecSetSampled(ds, space, gamma, m, rng, opts.Sampler)
+	vs, err := BuildVecSetSampledCtx(ctx, ds, space, gamma, m, rng, opts.Sampler)
 	if err != nil {
 		return Result{}, err
 	}
@@ -183,19 +215,25 @@ func HDRRM(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	if len(basis) > r {
 		return Result{}, fmt.Errorf("algohd: budget r=%d smaller than basis size %d (need r >= d)", r, len(basis))
 	}
-	ids, bestK := searchSmallestK(ds, r, basis, vs)
+	ids, bestK, err := searchSmallestK(ctx, ds, r, basis, vs)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{IDs: ids, K: bestK, VecCount: vs.Len()}, nil
 }
 
 // searchSmallestK is the improved binary search of Section V.B.2: double k
 // until ASMS fits the budget, then binary search (k/2, k]. It returns the
 // fitting set and the smallest fitting threshold.
-func searchSmallestK(ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int, int) {
+func searchSmallestK(ctx context.Context, ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int, int, error) {
 	n := ds.N()
 	var fit []int
 	k := 1
 	for {
-		q := ASMS(ds, k, basis, vs)
+		q, err := ASMSCtx(ctx, ds, k, basis, vs)
+		if err != nil {
+			return nil, 0, err
+		}
 		if len(q) <= r {
 			fit = q
 			break
@@ -215,7 +253,10 @@ func searchSmallestK(ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int
 	bestK := k
 	for low < high {
 		mid := (low + high) / 2
-		q := ASMS(ds, mid, basis, vs)
+		q, err := ASMSCtx(ctx, ds, mid, basis, vs)
+		if err != nil {
+			return nil, 0, err
+		}
 		if len(q) <= r {
 			fit = q
 			bestK = mid
@@ -224,7 +265,7 @@ func searchSmallestK(ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int
 			low = mid + 1
 		}
 	}
-	return fit, bestK
+	return fit, bestK, nil
 }
 
 // HDRRR solves the dual rank-regret representative problem in HD: given a
@@ -232,6 +273,11 @@ func searchSmallestK(ds *dataset.Dataset, r int, basis []int, vs *VecSet) ([]int
 // approximate minimum superset of the basis with rank-regret at most k for
 // the discretized space D (Theorem 9). Result.K echoes k.
 func HDRRR(ds *dataset.Dataset, k int, opts Options) (Result, error) {
+	return HDRRRCtx(nil, ds, k, opts)
+}
+
+// HDRRRCtx is HDRRR with cooperative cancellation (see HDRRMCtx).
+func HDRRRCtx(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -246,12 +292,15 @@ func HDRRR(ds *dataset.Dataset, k int, opts Options) (Result, error) {
 	space := opts.space(d)
 	rng := xrand.New(opts.Seed)
 	m := opts.sampleSize(n, d, n/maxInt(k, 1)+d)
-	vs, err := BuildVecSetSampled(ds, space, gamma, m, rng, opts.Sampler)
+	vs, err := BuildVecSetSampledCtx(ctx, ds, space, gamma, m, rng, opts.Sampler)
 	if err != nil {
 		return Result{}, err
 	}
 	basis := uniqueInts(ds.Basis())
-	q := ASMS(ds, k, basis, vs)
+	q, err := ASMSCtx(ctx, ds, k, basis, vs)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{IDs: q, K: k, VecCount: vs.Len()}, nil
 }
 

@@ -1,9 +1,11 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/geom"
 	"github.com/rankregret/rankregret/internal/topk"
@@ -20,6 +22,11 @@ import (
 // applicable for RRRM"): the fixed rectangular partition of the full angle
 // space is baked into the method.
 func MDRC(ds *dataset.Dataset, r int) (Result, error) {
+	return MDRCCtx(nil, ds, r)
+}
+
+// MDRCCtx is MDRC with cooperative cancellation in the cell enumeration.
+func MDRCCtx(ctx context.Context, ds *dataset.Dataset, r int) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -32,7 +39,7 @@ func MDRC(ds *dataset.Dataset, r int) (Result, error) {
 		return Result{IDs: []int{0}, K: 0, VecCount: 1}, nil
 	}
 
-	tops := func(g int) []int {
+	tops := func(g int) ([]int, error) {
 		// Centers of a g^(d-1) partition of [0, pi/2]^(d-1).
 		step := math.Pi / 2 / float64(g)
 		idx := make([]int, nAngles)
@@ -40,6 +47,11 @@ func MDRC(ds *dataset.Dataset, r int) (Result, error) {
 		scores := make([]float64, n)
 		var ids []int
 		for {
+			if len(ids)%1024 == 0 {
+				if err := ctxutil.Cancelled(ctx); err != nil {
+					return nil, err
+				}
+			}
 			for i, z := range idx {
 				theta[i] = (float64(z) + 0.5) * step
 			}
@@ -57,7 +69,7 @@ func MDRC(ds *dataset.Dataset, r int) (Result, error) {
 				break
 			}
 		}
-		return uniqueInts(ids)
+		return uniqueInts(ids), nil
 	}
 
 	// Double the per-angle resolution until the dedup'd set exceeds the
@@ -68,10 +80,16 @@ func MDRC(ds *dataset.Dataset, r int) (Result, error) {
 	if maxCells < 4096 {
 		maxCells = 4096
 	}
-	best := tops(1)
+	best, err := tops(1)
+	if err != nil {
+		return Result{}, err
+	}
 	cells := 1
 	for g := 2; intPow(g, nAngles) <= maxCells; g *= 2 {
-		s := tops(g)
+		s, err := tops(g)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) > r {
 			break
 		}

@@ -1,10 +1,12 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/setcover"
 	"github.com/rankregret/rankregret/internal/skyline"
@@ -22,6 +24,12 @@ import (
 // is that this can leave the rank-regret orders of magnitude worse than
 // HDRRM on clustered utility distributions.
 func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	return MDRMSCtx(nil, ds, r, opts)
+}
+
+// MDRMSCtx is MDRMS with cooperative cancellation in the direction
+// precompute, the set-cover rounds, and the eps binary search.
+func MDRMSCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -39,7 +47,7 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	if m <= 0 {
 		m = 2048
 	}
-	vs, err := BuildVecSet(ds, space, gamma, m, rng)
+	vs, err := BuildVecSetCtx(ctx, ds, space, gamma, m, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -53,6 +61,11 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	candU := make([][]float64, nv)
 	scores := make([]float64, n)
 	for v := 0; v < nv; v++ {
+		if v%256 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return Result{}, err
+			}
+		}
 		u := vs.Vecs[v]
 		scores = ds.Utilities(u, scores)
 		best := math.Inf(-1)
@@ -69,7 +82,7 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 		candU[v] = cu
 	}
 
-	solve := func(eps float64) []int {
+	solve := func(eps float64) ([]int, error) {
 		sets := make([][]int, len(cands))
 		for ci := range cands {
 			var covers []int
@@ -80,16 +93,19 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 			}
 			sets[ci] = covers
 		}
-		chosen, ok := setcover.Greedy(nv, sets)
+		chosen, ok, err := setcover.GreedyCtx(ctx, nv, sets)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
-			return nil // eps too small to cover (numerically)
+			return nil, nil // eps too small to cover (numerically)
 		}
 		out := make([]int, 0, len(chosen))
 		for _, ci := range chosen {
 			out = append(out, cands[ci])
 		}
 		sort.Ints(out)
-		return out
+		return out, nil
 	}
 
 	// Binary search the smallest eps whose cover fits r.
@@ -97,7 +113,10 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	var fit []int
 	for iter := 0; iter < 40; iter++ {
 		mid := (lo + hi) / 2
-		s := solve(mid)
+		s, err := solve(mid)
+		if err != nil {
+			return Result{}, err
+		}
 		if s != nil && len(s) <= r {
 			fit = s
 			hi = mid
@@ -106,7 +125,11 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 		}
 	}
 	if fit == nil {
-		fit = solve(1)
+		var err error
+		fit, err = solve(1)
+		if err != nil {
+			return Result{}, err
+		}
 		if fit == nil {
 			return Result{}, fmt.Errorf("algohd: MDRMS could not cover the direction set")
 		}
@@ -120,6 +143,12 @@ func MDRMS(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 // reduces the maximum regret-ratio over the discretized direction set.
 // Included as an extension for regret-ratio comparisons and ablations.
 func RMSGreedy(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	return RMSGreedyCtx(nil, ds, r, opts)
+}
+
+// RMSGreedyCtx is RMSGreedy with cooperative cancellation in the greedy
+// selection rounds.
+func RMSGreedyCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -137,7 +166,7 @@ func RMSGreedy(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	if m <= 0 {
 		m = 1024
 	}
-	vs, err := BuildVecSet(ds, space, gamma, m, rng)
+	vs, err := BuildVecSetCtx(ctx, ds, space, gamma, m, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -147,6 +176,11 @@ func RMSGreedy(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	candU := make([][]float64, nv) // per direction, per candidate
 	scores := make([]float64, n)
 	for v := 0; v < nv; v++ {
+		if v%256 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return Result{}, err
+			}
+		}
 		scores = ds.Utilities(vs.Vecs[v], scores)
 		best := math.Inf(-1)
 		for _, s := range scores {
@@ -170,6 +204,9 @@ func RMSGreedy(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	}
 	var out []int
 	for len(out) < r && len(out) < len(cands) {
+		if err := ctxutil.Cancelled(ctx); err != nil {
+			return Result{}, err
+		}
 		bestCi, bestScore := -1, math.Inf(1)
 		for ci := range cands {
 			if chosen[ci] {

@@ -1,10 +1,12 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/rankregret/rankregret/internal/algo2d"
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/setcover"
 	"github.com/rankregret/rankregret/internal/topk"
@@ -25,11 +27,18 @@ func kSetKey(ids []int) string {
 // discoverKSets collects the distinct top-k sets ("k-sets" in the paper's
 // terminology, following Asudeh et al.) witnessed by the vector set. It
 // returns the list of distinct sets.
-func discoverKSets(ds *dataset.Dataset, vs *VecSet, k int) [][]int {
-	vs.EnsureTopK(k)
+func discoverKSets(ctx context.Context, ds *dataset.Dataset, vs *VecSet, k int) ([][]int, error) {
+	if err := vs.EnsureTopKCtx(ctx, k); err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	var out [][]int
 	for v := 0; v < vs.Len(); v++ {
+		if v%4096 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		top := vs.Top(v, k)
 		key := kSetKey(top)
 		if !seen[key] {
@@ -38,13 +47,13 @@ func discoverKSets(ds *dataset.Dataset, vs *VecSet, k int) [][]int {
 			out = append(out, cp)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // hittingSet returns a small set of tuple ids intersecting every k-set,
 // via greedy set cover on the dual instance (tuple t covers the k-sets that
 // contain it).
-func hittingSet(ksets [][]int) []int {
+func hittingSet(ctx context.Context, ksets [][]int) ([]int, error) {
 	coverOf := map[int][]int{}
 	for w, ks := range ksets {
 		for _, t := range ks {
@@ -60,7 +69,10 @@ func hittingSet(ksets [][]int) []int {
 	for i, t := range tuples {
 		sets[i] = coverOf[t]
 	}
-	chosen, ok := setcover.Greedy(len(ksets), sets)
+	chosen, ok, err := setcover.GreedyCtx(ctx, len(ksets), sets)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		panic("algohd: hitting set universe not coverable")
 	}
@@ -68,7 +80,7 @@ func hittingSet(ksets [][]int) []int {
 	for _, ci := range chosen {
 		out = append(out, tuples[ci])
 	}
-	return uniqueInts(out)
+	return uniqueInts(out), nil
 }
 
 // MDRRRr is the randomized baseline of Asudeh et al.: discover k-sets by
@@ -79,6 +91,12 @@ func hittingSet(ksets [][]int) []int {
 // controls the number of sampled directions (the paper's |W|-driven budget);
 // Options.Space restricts the sampling for RRRM.
 func MDRRRr(ds *dataset.Dataset, r int, opts Options) (Result, error) {
+	return MDRRRrCtx(nil, ds, r, opts)
+}
+
+// MDRRRrCtx is MDRRRr with cooperative cancellation in the sampling,
+// k-set discovery, and hitting-set loops.
+func MDRRRrCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	n, d := ds.N(), ds.Dim()
 	if n == 0 {
 		return Result{}, fmt.Errorf("algohd: empty dataset")
@@ -93,18 +111,25 @@ func MDRRRr(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 		m = 1024
 	}
 	// Pure sampling (no grid): the k-set discovery in MDRRRr is Monte Carlo.
-	vs, err := BuildVecSet(ds, space, 1, m, rng)
+	vs, err := BuildVecSetCtx(ctx, ds, space, 1, m, rng)
 	if err != nil {
 		return Result{}, err
 	}
 
-	solve := func(k int) []int {
-		return hittingSet(discoverKSets(ds, vs, k))
+	solve := func(k int) ([]int, error) {
+		ksets, err := discoverKSets(ctx, ds, vs, k)
+		if err != nil {
+			return nil, err
+		}
+		return hittingSet(ctx, ksets)
 	}
 	var fit []int
 	k := 1
 	for {
-		s := solve(k)
+		s, err := solve(k)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) <= r {
 			fit = s
 			break
@@ -122,7 +147,10 @@ func MDRRRr(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 	bestK := k
 	for low < high {
 		mid := (low + high) / 2
-		s := solve(mid)
+		s, err := solve(mid)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) <= r {
 			fit = s
 			bestK = mid
@@ -143,6 +171,11 @@ func MDRRRr(ds *dataset.Dataset, r int, opts Options) (Result, error) {
 // It refuses datasets beyond maxN tuples to honor its role as a small-scale
 // reference (pass 0 for the default 500).
 func MDRRR(ds *dataset.Dataset, r int, opts Options, maxN int) (Result, error) {
+	return MDRRRCtx(nil, ds, r, opts, maxN)
+}
+
+// MDRRRCtx is MDRRR with cooperative cancellation (see MDRRRrCtx).
+func MDRRRCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options, maxN int) (Result, error) {
 	if maxN <= 0 {
 		maxN = 500
 	}
@@ -155,7 +188,7 @@ func MDRRR(ds *dataset.Dataset, r int, opts Options, maxN int) (Result, error) {
 	}
 	space := opts.space(d)
 	if d == 2 && opts.Space == nil {
-		return mdrrrExact2D(ds, r)
+		return mdrrrExact2D(ctx, ds, r)
 	}
 	rng := xrand.New(opts.Seed)
 	// Dense deterministic grid: gamma chosen so the grid alone has at least
@@ -167,17 +200,24 @@ func MDRRR(ds *dataset.Dataset, r int, opts Options, maxN int) (Result, error) {
 	if d > 4 {
 		gamma = 12
 	}
-	vs, err := BuildVecSet(ds, space, gamma, 2048, rng)
+	vs, err := BuildVecSetCtx(ctx, ds, space, gamma, 2048, rng)
 	if err != nil {
 		return Result{}, err
 	}
-	solve := func(k int) []int {
-		return hittingSet(discoverKSets(ds, vs, k))
+	solve := func(k int) ([]int, error) {
+		ksets, err := discoverKSets(ctx, ds, vs, k)
+		if err != nil {
+			return nil, err
+		}
+		return hittingSet(ctx, ksets)
 	}
 	var fit []int
 	k := 1
 	for {
-		s := solve(k)
+		s, err := solve(k)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) <= r {
 			fit = s
 			break
@@ -195,7 +235,10 @@ func MDRRR(ds *dataset.Dataset, r int, opts Options, maxN int) (Result, error) {
 	bestK := k
 	for low < high {
 		mid := (low + high) / 2
-		s := solve(mid)
+		s, err := solve(mid)
+		if err != nil {
+			return Result{}, err
+		}
 		if len(s) <= r {
 			fit = s
 			bestK = mid
@@ -216,14 +259,21 @@ func TopKAt(ds *dataset.Dataset, u []float64, k int) []int {
 // set is over every k-set (not a sample), so the returned set's rank-regret
 // is provably at most Result.K for the whole space, as in the paper's
 // original MDRRR.
-func mdrrrExact2D(ds *dataset.Dataset, r int) (Result, error) {
+func mdrrrExact2D(ctx context.Context, ds *dataset.Dataset, r int) (Result, error) {
 	n := ds.N()
 	solve := func(k int) ([]int, int, error) {
+		if err := ctxutil.Cancelled(ctx); err != nil {
+			return nil, 0, err
+		}
 		ksets, err := algo2d.KSets2D(ds, k)
 		if err != nil {
 			return nil, 0, err
 		}
-		return hittingSet(ksets), len(ksets), nil
+		hs, err := hittingSet(ctx, ksets)
+		if err != nil {
+			return nil, 0, err
+		}
+		return hs, len(ksets), nil
 	}
 	var fit []int
 	vecs := 0

@@ -8,10 +8,12 @@
 package algohd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
@@ -40,6 +42,12 @@ type VecSet struct {
 // m may be 0 (grid only). The paper's Theorem 10 sample size is available
 // via SampleSizeTheorem10.
 func BuildVecSet(ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand) (*VecSet, error) {
+	return BuildVecSetCtx(nil, ds, space, gamma, m, rng)
+}
+
+// BuildVecSetCtx is BuildVecSet with cooperative cancellation: the sampling
+// loop checks ctx periodically and aborts with ctx.Err().
+func BuildVecSetCtx(ctx context.Context, ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand) (*VecSet, error) {
 	d := ds.Dim()
 	if space == nil {
 		space = funcspace.NewFull(d)
@@ -58,6 +66,11 @@ func BuildVecSet(ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *
 	}
 	gridCount := len(vecs)
 	for i := 0; i < m; i++ {
+		if i%256 == 0 {
+			if err := ctxutil.Cancelled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		u := space.Sample(rng)
 		if u == nil {
 			return nil, fmt.Errorf("algohd: sampling from %s failed", space.Name())
@@ -107,7 +120,12 @@ func ln(x float64) float64 {
 // EnsureTopK extends the cached per-vector top lists to at least k entries
 // (clamped to n). Lists are built in parallel across vectors. Amortized over
 // a binary search the total work is O(|D| · n · d + |D| · k log k).
-func (vs *VecSet) EnsureTopK(k int) {
+func (vs *VecSet) EnsureTopK(k int) { _ = vs.EnsureTopKCtx(nil, k) }
+
+// EnsureTopKCtx is EnsureTopK with cooperative cancellation: each worker
+// checks ctx between vectors and the partially-built lists are discarded on
+// cancellation, leaving the cache in its previous consistent state.
+func (vs *VecSet) EnsureTopKCtx(ctx context.Context, k int) error {
 	n := vs.ds.N()
 	if k > n {
 		k = n
@@ -115,7 +133,7 @@ func (vs *VecSet) EnsureTopK(k int) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if vs.topK >= k && vs.tops != nil {
-		return
+		return nil
 	}
 	// Grow geometrically so the binary search's shrinking ks are free.
 	target := k
@@ -143,13 +161,20 @@ func (vs *VecSet) EnsureTopK(k int) {
 			defer wg.Done()
 			scores := make([]float64, n)
 			for v := lo; v < hi; v++ {
+				if ctxutil.Cancelled(ctx) != nil {
+					return
+				}
 				tops[v] = topk.TopK(vs.ds, vs.Vecs[v], target, scores)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctxutil.Cancelled(ctx); err != nil {
+		return err
+	}
 	vs.tops = tops
 	vs.topK = target
+	return nil
 }
 
 // Top returns the top-k tuple ids for vector v (best first). It extends the

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// EngineBenchCase is one measured (dataset, algorithm) point of the engine
+// benchmark.
+type EngineBenchCase struct {
+	Dataset         string  `json:"dataset"`
+	N               int     `json:"n"`
+	D               int     `json:"d"`
+	R               int     `json:"r"`
+	Algorithm       string  `json:"algorithm"`
+	ColdMS          float64 `json:"cold_ms"`            // first solve (cache miss)
+	WarmMS          float64 `json:"warm_ms"`            // one cached re-solve
+	CacheHitsPerSec float64 `json:"cache_hits_per_sec"` // single-goroutine cached re-solve throughput
+	ConcHitsPerSec  float64 `json:"conc_hits_per_sec"`  // cached re-solve throughput across GOMAXPROCS goroutines
+	Size            int     `json:"size"`
+	RankRegret      int     `json:"rank_regret"`
+}
+
+// EngineBenchResult is the machine-readable output of EngineBench, written
+// to BENCH_engine.json to seed the performance trajectory across PRs.
+type EngineBenchResult struct {
+	Schema     string            `json:"schema"`
+	Scale      string            `json:"scale"`
+	Seed       int64             `json:"seed"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Cases      []EngineBenchCase `json:"cases"`
+	Cache      engine.CacheStats `json:"cache"`
+}
+
+// EngineBenchSchema identifies the BENCH_engine.json format version.
+const EngineBenchSchema = "rankregret/bench-engine/v1"
+
+const hitIters = 200
+
+// EngineBench measures engine solve latency (cold vs cached) and solution-
+// cache hit throughput on the simulated real datasets. The ci scale uses
+// laptop-friendly sizes; paper scale uses larger ones.
+func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
+	type point struct {
+		name string
+		ds   *dataset.Dataset
+		r    int
+		algo string
+	}
+	nNBA, nWeather, nIsland := 2000, 4000, 10000
+	if sc.Name == "paper" {
+		nNBA, nWeather, nIsland = 21961, 178080, 63383
+	}
+	points := []point{
+		{"simnba", dataset.SimNBA(xrand.New(seed), nNBA), 8, "hdrrm"},
+		{"simweather", dataset.SimWeather(xrand.New(seed), nWeather), 10, "hdrrm"},
+		{"simisland", dataset.SimIsland(xrand.New(seed), nIsland), 10, "2drrm"},
+	}
+
+	e := engine.New(0)
+	ctx := context.Background()
+	out := EngineBenchResult{
+		Schema:     EngineBenchSchema,
+		Scale:      sc.Name,
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, p := range points {
+		opts := engine.Options{Seed: seed, MaxSamples: sc.MaxM}
+		start := time.Now()
+		sol, err := e.Solve(ctx, p.ds, p.r, p.algo, opts)
+		if err != nil {
+			return out, fmt.Errorf("bench: engine solve %s/%s: %w", p.name, p.algo, err)
+		}
+		cold := time.Since(start)
+
+		start = time.Now()
+		if _, err := e.Solve(ctx, p.ds, p.r, p.algo, opts); err != nil {
+			return out, err
+		}
+		warm := time.Since(start)
+
+		start = time.Now()
+		for i := 0; i < hitIters; i++ {
+			if _, err := e.Solve(ctx, p.ds, p.r, p.algo, opts); err != nil {
+				return out, err
+			}
+		}
+		hitsPerSec := float64(hitIters) / time.Since(start).Seconds()
+
+		workers := runtime.GOMAXPROCS(0)
+		start = time.Now()
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := 0; i < hitIters; i++ {
+					if _, err := e.Solve(ctx, p.ds, p.r, p.algo, opts); err != nil {
+						errc <- err
+						return
+					}
+				}
+				errc <- nil
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			if err := <-errc; err != nil {
+				return out, err
+			}
+		}
+		concPerSec := float64(workers*hitIters) / time.Since(start).Seconds()
+
+		out.Cases = append(out.Cases, EngineBenchCase{
+			Dataset:         p.name,
+			N:               p.ds.N(),
+			D:               p.ds.Dim(),
+			R:               p.r,
+			Algorithm:       p.algo,
+			ColdMS:          float64(cold.Microseconds()) / 1000,
+			WarmMS:          float64(warm.Microseconds()) / 1000,
+			CacheHitsPerSec: hitsPerSec,
+			ConcHitsPerSec:  concPerSec,
+			Size:            len(sol.IDs),
+			RankRegret:      sol.RankRegret,
+		})
+	}
+	out.Cache = e.CacheStats()
+	return out, nil
+}

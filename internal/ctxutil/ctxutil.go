@@ -1,0 +1,19 @@
+// Package ctxutil holds the shared cooperative-cancellation primitive the
+// algorithm hot loops poll. Solvers accept a nil context to mean "never
+// cancel", which keeps the non-context entry points allocation-free.
+package ctxutil
+
+import "context"
+
+// Cancelled reports ctx's error if it is done; a nil ctx never cancels.
+func Cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -10,7 +10,9 @@ package dataset
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sync/atomic"
 )
 
 // Dataset is an n x d matrix of tuples. Larger attribute values are
@@ -21,6 +23,11 @@ type Dataset struct {
 	d     int
 	vals  []float64 // row-major, length n*d
 	attrs []string  // length d, may contain empty names
+
+	// fp memoizes Fingerprint (0 = not yet computed). Mutating methods
+	// reset it; the atomic makes concurrent readers of a settled dataset
+	// race-free.
+	fp atomic.Uint64
 }
 
 // New returns an empty dataset with dimension d.
@@ -86,6 +93,7 @@ func (ds *Dataset) Append(row []float64) {
 		panic(fmt.Sprintf("dataset: Append row of length %d to dimension-%d dataset", len(row), ds.d))
 	}
 	ds.vals = append(ds.vals, row...)
+	ds.dirty()
 }
 
 // SetAttrs names the attributes; the slice is copied. Length must match Dim.
@@ -94,6 +102,7 @@ func (ds *Dataset) SetAttrs(names []string) error {
 		return fmt.Errorf("dataset: %d attribute names for dimension %d", len(names), ds.d)
 	}
 	copy(ds.attrs, names)
+	ds.dirty()
 	return nil
 }
 
@@ -232,6 +241,7 @@ func (ds *Dataset) Normalize() (mins, maxs []float64) {
 			}
 		}
 	}
+	ds.dirty()
 	return mins, maxs
 }
 
@@ -248,6 +258,7 @@ func (ds *Dataset) Shift(delta []float64) {
 			row[j] += delta[j]
 		}
 	}
+	ds.dirty()
 }
 
 // Negate flips attribute j (v -> -v), in place, converting a
@@ -260,6 +271,7 @@ func (ds *Dataset) Negate(j int) {
 	for i := 0; i < ds.N(); i++ {
 		ds.Row(i)[j] = -ds.Row(i)[j]
 	}
+	ds.dirty()
 }
 
 // Basis returns one boundary-tuple index per attribute: the tuple with the
@@ -282,6 +294,42 @@ func (ds *Dataset) Basis() []int {
 	_ = n
 	return out
 }
+
+// Fingerprint returns a 64-bit FNV-1a hash over the dataset's shape,
+// attribute names, and raw value bits. Two datasets with equal fingerprints
+// are, for caching purposes, the same dataset; mutation (Negate, Normalize,
+// Shift, Append) changes the fingerprint. The hash is memoized, so repeated
+// calls on a settled dataset — the cache-hit hot path — are O(1); only the
+// first call after construction or mutation pays the full pass.
+func (ds *Dataset) Fingerprint() uint64 {
+	if fp := ds.fp.Load(); fp != 0 {
+		return fp
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(ds.d))
+	put(uint64(ds.N()))
+	for _, a := range ds.attrs {
+		h.Write([]byte(a))
+		h.Write([]byte{0})
+	}
+	for _, v := range ds.vals {
+		put(math.Float64bits(v))
+	}
+	fp := h.Sum64()
+	// A true hash of 0 (1-in-2^64) is just never memoized.
+	ds.fp.Store(fp)
+	return fp
+}
+
+// dirty invalidates the memoized fingerprint; every mutator calls it.
+func (ds *Dataset) dirty() { ds.fp.Store(0) }
 
 // String summarizes the dataset for logs.
 func (ds *Dataset) String() string {

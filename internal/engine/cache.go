@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU map from solve-request keys to Solutions.
+// Values stored are owned by the cache; Engine.cached clones on the way in
+// and out.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	sol *Solution
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Len    int    `json:"len"`
+	Cap    int    `json:"cap"`
+}
+
+// NewCache returns an LRU cache holding at most capacity solutions.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached solution for key, promoting it to most-recent.
+func (c *Cache) Get(key string) (*Solution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sol, true
+}
+
+// Add stores sol under key, evicting the least-recently-used entry when the
+// cache is full. Re-adding an existing key refreshes its value and recency.
+func (c *Cache) Add(key string, sol *Solution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).sol = sol
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sol: sol})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats snapshots the hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Len: c.ll.Len(), Cap: c.cap}
+}

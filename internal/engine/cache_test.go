@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", &Solution{RankRegret: 1})
+	c.Add("b", &Solution{RankRegret: 2})
+	if _, ok := c.Get("a"); !ok { // promote a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", &Solution{RankRegret: 3}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Errorf("%s should be resident", key)
+		}
+	}
+	st := c.Stats()
+	if st.Len != 2 || st.Cap != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheRefresh(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", &Solution{RankRegret: 1})
+	c.Add("a", &Solution{RankRegret: 9})
+	got, ok := c.Get("a")
+	if !ok || got.RankRegret != 9 {
+		t.Errorf("refreshed value = %+v, ok=%v", got, ok)
+	}
+	if st := c.Stats(); st.Len != 1 {
+		t.Errorf("duplicate Add grew the cache: %+v", st)
+	}
+}
+
+// TestCacheConcurrentHammer drives one engine from many goroutines mixing
+// cache hits, misses, evictions, and result mutation. Run under -race this
+// is the engine's concurrency gate.
+func TestCacheConcurrentHammer(t *testing.T) {
+	island := dataset.SimIsland(xrand.New(3), 150)
+	want := make(map[int][]int)
+	probe := New(-1) // uncached engine computes the expected answers
+	for r := 2; r <= 5; r++ {
+		sol, err := probe.Solve(context.Background(), island, r, "", Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r] = sol.IDs
+	}
+
+	e := New(4) // small capacity so eviction churns under load
+	const workers = 32
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := 2 + (w+i)%4
+				sol, err := e.Solve(context.Background(), island, r, "", Options{Seed: 1})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if !reflect.DeepEqual(sol.IDs, want[r]) {
+					errs <- fmt.Errorf("r=%d: ids %v, want %v", r, sol.IDs, want[r])
+				}
+				// Mutate the returned copy to catch aliasing with the cache.
+				for j := range sol.IDs {
+					sol.IDs[j] = -j
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := e.CacheStats()
+	// Coalesced followers skip the cache lookup entirely, so hits+misses is
+	// at most one probe per request.
+	if total := st.Hits + st.Misses; total > workers*iters || total == 0 {
+		t.Errorf("hits+misses = %d, want in (0, %d]", total, workers*iters)
+	}
+	if st.Hits == 0 {
+		t.Error("expected at least one cache hit under the hammer")
+	}
+}
+
+// TestSingleflight: concurrent identical cold requests must compute once;
+// everyone shares the leader's result.
+func TestSingleflight(t *testing.T) {
+	island := dataset.SimIsland(xrand.New(3), 200)
+	e := New(8)
+	var computes atomic.Int64
+	compute := func() (*Solution, error) {
+		computes.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open for followers
+		return &Solution{IDs: []int{1, 2, 3}, Algorithm: "fake"}, nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := e.cached(context.Background(), island, "rrm", 3, "fake", Options{Seed: 1}, compute)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(sol.IDs, []int{1, 2, 3}) {
+				errs <- fmt.Errorf("ids = %v", sol.IDs)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Allow a small number of stragglers that raced past the flight window,
+	// but the dogpile (16 computes) must be gone.
+	if n := computes.Load(); n > 3 {
+		t.Errorf("compute ran %d times, want coalesced to ~1", n)
+	}
+}
+
+// TestSingleflightFollowerDeadline: a follower must stop waiting when its
+// own context expires, even while the leader keeps computing.
+func TestSingleflightFollowerDeadline(t *testing.T) {
+	island := dataset.SimIsland(xrand.New(3), 200)
+	e := New(8)
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		e.cached(context.Background(), island, "rrm", 3, "slow", Options{Seed: 1}, func() (*Solution, error) {
+			close(leaderStarted)
+			<-release
+			return &Solution{IDs: []int{1}}, nil
+		})
+	}()
+	<-leaderStarted
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.cached(ctx, island, "rrm", 3, "slow", Options{Seed: 1}, func() (*Solution, error) {
+		t.Error("follower must not compute while the flight is open")
+		return nil, nil
+	})
+	if err != context.DeadlineExceeded {
+		t.Errorf("follower err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("follower waited %v past its deadline", elapsed)
+	}
+	close(release)
+}
+
+// TestSingleflightLeaderPanic: a panicking leader must unregister the
+// flight so later identical requests are not wedged waiting forever.
+func TestSingleflightLeaderPanic(t *testing.T) {
+	island := dataset.SimIsland(xrand.New(3), 200)
+	e := New(8)
+	func() {
+		defer func() { recover() }()
+		e.cached(context.Background(), island, "rrm", 3, "panicky", Options{Seed: 1}, func() (*Solution, error) {
+			panic("solver blew up")
+		})
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sol, err := e.cached(context.Background(), island, "rrm", 3, "panicky", Options{Seed: 1}, func() (*Solution, error) {
+			return &Solution{IDs: []int{7}}, nil
+		})
+		if err != nil || len(sol.IDs) != 1 || sol.IDs[0] != 7 {
+			t.Errorf("post-panic solve = %v, %v", sol, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request after a panicked leader is wedged")
+	}
+}

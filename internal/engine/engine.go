@@ -1,0 +1,305 @@
+// Package engine is the solver layer of the repository: a pluggable
+// algorithm registry, context-aware cancellable solves, and a
+// concurrency-safe LRU solution cache.
+//
+// The public rankregret package, the CLIs, and the rrmd serving daemon all
+// dispatch through an Engine instead of hard-coding algorithm switches: an
+// Algorithm is a named Solver registered at init time (see Register), a
+// solve call carries a context.Context that the hot loops of the underlying
+// algorithms check periodically, and identical (dataset, algorithm,
+// parameters) requests are answered from the cache without recomputation.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/rankregret/rankregret/internal/algohd"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/funcspace"
+)
+
+// ErrDimension is returned when a 2D-only solver is applied to d != 2.
+var ErrDimension = errors.New("engine: algorithm requires a 2-dimensional dataset")
+
+// Options carries the solver parameters shared by every algorithm. The zero
+// value means: full utility space, the paper's default parameters, seed 1.
+type Options struct {
+	// Space restricts the utility space (nil = full orthant = RRM).
+	Space funcspace.Space
+	// SpaceKey optionally overrides the cache-key component derived from
+	// Space. Callers constructing spaces from a textual spec (e.g. "weak:2")
+	// should pass the spec so equal specs share cache entries.
+	SpaceKey string
+	// CacheSalt is an extra cache-key component. Multi-tenant callers (e.g.
+	// a daemon with a named-dataset registry) should set it to the dataset's
+	// registry name so entries stay distinct even if two datasets' 64-bit
+	// fingerprints collide.
+	CacheSalt string
+	// Gamma is HDRRM's polar-grid resolution (0 = paper default 6).
+	Gamma int
+	// Delta is HDRRM's error probability (0 = paper default 0.03).
+	Delta float64
+	// Samples overrides HDRRM's sample count m (0 = Theorem 10 formula).
+	Samples int
+	// MaxSamples caps the Theorem 10 formula (0 = library default 50 000;
+	// negative = uncapped).
+	MaxSamples int
+	// Seed drives all randomness (0 is normalized to 1 by callers).
+	Seed int64
+	// Sampler overrides the preference distribution Da is drawn from. A
+	// non-nil Sampler disables caching: function values have no stable
+	// identity to key on.
+	Sampler algohd.Sampler
+}
+
+// hd converts Options to the algohd option struct, applying the paper
+// defaults exactly as the pre-engine rankregret.Solve did.
+func (o Options) hd() algohd.Options {
+	ho := algohd.DefaultOptions()
+	if o.Gamma > 0 {
+		ho.Gamma = o.Gamma
+	}
+	if o.Delta > 0 {
+		ho.Delta = o.Delta
+	}
+	if o.Samples > 0 {
+		ho.M = o.Samples
+	}
+	switch {
+	case o.MaxSamples > 0:
+		ho.MaxM = o.MaxSamples
+	case o.MaxSamples < 0:
+		ho.MaxM = 0
+	}
+	ho.Seed = o.Seed
+	ho.Space = o.Space
+	ho.Sampler = o.Sampler
+	return ho
+}
+
+// spaceKey returns the cache-key component identifying the utility space.
+func (o Options) spaceKey() string {
+	if o.SpaceKey != "" {
+		return o.SpaceKey
+	}
+	if o.Space == nil {
+		return "full"
+	}
+	// %+v over the concrete value is deterministic and includes the
+	// constraint data, so structurally different spaces key differently.
+	return fmt.Sprintf("%T%+v", o.Space, o.Space)
+}
+
+// Solution is the output of an engine solve.
+type Solution struct {
+	// IDs are the chosen tuple indices into the dataset, ascending.
+	IDs []int
+	// RankRegret is the solver's reported rank-regret (see the Solver's
+	// documentation for its exact semantics; 0 when the solver reports none).
+	RankRegret int
+	// Exact records whether RankRegret is exact over the full space.
+	Exact bool
+	// Algorithm is the registered name of the solver that produced this.
+	Algorithm string
+}
+
+// clone returns a deep copy so cached solutions are never aliased by
+// callers.
+func (s *Solution) clone() *Solution {
+	out := *s
+	out.IDs = append([]int(nil), s.IDs...)
+	return &out
+}
+
+// Solver is one algorithm. Implementations must be safe for concurrent use
+// and honor ctx cancellation in their long-running loops (a nil ctx
+// disables the checks).
+type Solver interface {
+	// Name is the registry identifier, e.g. "hdrrm".
+	Name() string
+	// Solve computes a size-r rank-regret minimizing subset of ds.
+	Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error)
+}
+
+// DualSolver is implemented by solvers that also answer the dual
+// rank-regret representative (RRR) problem: the minimum-size set with
+// rank-regret at most k.
+type DualSolver interface {
+	Solver
+	SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (*Solution, error)
+}
+
+// Engine dispatches solves through the registry and answers repeated
+// requests from its LRU cache. The zero value is not usable; call New.
+type Engine struct {
+	cache *Cache
+
+	// flight coalesces concurrent identical cold requests so a dogpile of
+	// cache misses computes the solve once.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes (or panics)
+	sol  *Solution     // private clone, set on success
+	err  error
+}
+
+// DefaultCacheSize is the solution-cache capacity of New(0) and of the
+// package-level Default engine.
+const DefaultCacheSize = 256
+
+// New returns an Engine with an LRU solution cache of the given capacity
+// (0 = DefaultCacheSize, negative = caching disabled).
+func New(cacheSize int) *Engine {
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	e := &Engine{flight: make(map[string]*flightCall)}
+	if cacheSize > 0 {
+		e.cache = NewCache(cacheSize)
+	}
+	return e
+}
+
+// Default is the shared engine the rankregret package-level API uses.
+var Default = New(0)
+
+// CacheStats reports the default-visible counters of the engine's cache
+// (zero value when caching is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+func validate(ds *dataset.Dataset, rk int, what string) error {
+	if ds == nil || ds.N() == 0 {
+		return errors.New("engine: empty dataset")
+	}
+	if rk < 1 {
+		return fmt.Errorf("engine: %s = %d, need >= 1", what, rk)
+	}
+	return nil
+}
+
+// Solve dispatches a size-r RRM/RRRM solve to the named algorithm ("" =
+// auto: 2drrm for d = 2, hdrrm otherwise), consulting the cache first.
+func (e *Engine) Solve(ctx context.Context, ds *dataset.Dataset, r int, algo string, opts Options) (*Solution, error) {
+	if err := validate(ds, r, "output size r"); err != nil {
+		return nil, err
+	}
+	s, err := Resolve(algo, ds.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return e.SolveWith(ctx, ds, r, s, opts)
+}
+
+// SolveWith runs a specific Solver instance through the engine's caching
+// layer. It is the entry point for solvers that are parameterized beyond
+// Options (e.g. HDRRM ablation variants) and therefore not in the registry.
+func (e *Engine) SolveWith(ctx context.Context, ds *dataset.Dataset, r int, s Solver, opts Options) (*Solution, error) {
+	if err := validate(ds, r, "output size r"); err != nil {
+		return nil, err
+	}
+	return e.cached(ctx, ds, "rrm", r, s.Name(), opts, func() (*Solution, error) {
+		return s.Solve(ctx, ds, r, opts)
+	})
+}
+
+// SolveRRR dispatches the dual problem (minimum set with rank-regret <= k)
+// to the named algorithm ("" = auto). Only solvers implementing DualSolver
+// qualify; auto picks 2drrm for d = 2 and hdrrm otherwise, matching the
+// paper's exact-vs-approximate split.
+func (e *Engine) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, algo string, opts Options) (*Solution, error) {
+	if err := validate(ds, k, "threshold k"); err != nil {
+		return nil, err
+	}
+	if k > ds.N() {
+		return nil, fmt.Errorf("engine: threshold k = %d out of range [1, %d]", k, ds.N())
+	}
+	s, err := Resolve(algo, ds.Dim())
+	if err != nil {
+		return nil, err
+	}
+	dual, ok := s.(DualSolver)
+	if !ok {
+		return nil, fmt.Errorf("engine: algorithm %q cannot solve the dual RRR problem", s.Name())
+	}
+	return e.cached(ctx, ds, "rrr", k, s.Name(), opts, func() (*Solution, error) {
+		return dual.SolveRRR(ctx, ds, k, opts)
+	})
+}
+
+// cached answers from the LRU when possible, otherwise computes and stores.
+// Cached solutions are cloned on the way in and out so callers can mutate
+// their copy freely. Concurrent identical cold requests are coalesced: the
+// first caller computes, the rest wait and share its result. A follower
+// stops waiting when its own ctx is done, and a follower whose leader
+// failed (cancelled, errored, or panicked) computes independently under its
+// own context.
+func (e *Engine) cached(ctx context.Context, ds *dataset.Dataset, mode string, rk int, algo string, opts Options, compute func() (*Solution, error)) (*Solution, error) {
+	cacheable := e.cache != nil && opts.Sampler == nil
+	if !cacheable {
+		return compute()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%016x|%s|%s|%d|%s|%d|%g|%d|%d|%d",
+		opts.CacheSalt, ds.Fingerprint(), mode, algo, rk, opts.spaceKey(),
+		opts.Gamma, opts.Delta, opts.Samples, opts.MaxSamples, opts.Seed)
+	key := b.String()
+	if sol, ok := e.cache.Get(key); ok {
+		return sol.clone(), nil
+	}
+	e.flightMu.Lock()
+	if c, ok := e.flight[key]; ok {
+		e.flightMu.Unlock()
+		if ctx == nil {
+			<-c.done
+		} else {
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if c.err == nil {
+			return c.sol.clone(), nil
+		}
+		sol, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		e.cache.Add(key, sol.clone())
+		return sol, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	// If compute panics, the deferred cleanup still unregisters the flight
+	// and releases followers; the default error sends them down their
+	// compute-independently path.
+	c.err = errors.New("engine: solve aborted")
+	e.flight[key] = c
+	e.flightMu.Unlock()
+	defer func() {
+		e.flightMu.Lock()
+		delete(e.flight, key)
+		e.flightMu.Unlock()
+		close(c.done)
+	}()
+
+	sol, err := compute()
+	if err == nil {
+		stored := sol.clone()
+		e.cache.Add(key, stored)
+		c.sol = stored
+	}
+	c.err = err
+	return sol, err
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Solver{}
+)
+
+// Register adds a Solver to the registry under its Name. It panics on a
+// duplicate name: registration happens at init time and a collision is a
+// programming error.
+func Register(s Solver) {
+	name := s.Name()
+	if name == "" {
+		panic("engine: Register with empty solver name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: Register called twice for solver %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the registered solver with the given name.
+func Lookup(name string) (Solver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Algorithms returns the sorted names of every registered solver.
+func Algorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve maps an algorithm name to a Solver. The empty name selects
+// automatically: the exact 2D dynamic program for dim = 2, HDRRM otherwise
+// (the paper's primary algorithms).
+func Resolve(name string, dim int) (Solver, error) {
+	if name == "" {
+		if dim == 2 {
+			name = "2drrm"
+		} else {
+			name = "hdrrm"
+		}
+	}
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown algorithm %q (have %v)", name, Algorithms())
+	}
+	return s, nil
+}

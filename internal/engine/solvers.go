@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/rankregret/rankregret/internal/algo2d"
+	"github.com/rankregret/rankregret/internal/algohd"
+	"github.com/rankregret/rankregret/internal/ctxutil"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/skyline"
+)
+
+// Registered algorithm names. The constants exist so the public facade and
+// the daemons spell them identically.
+const (
+	AlgoTwoDRRM     = "2drrm"      // exact DP, d = 2 only
+	AlgoHDRRM       = "hdrrm"      // double approximation, any d
+	AlgoTwoDRRR     = "2drrr"      // Asudeh et al. 2D baseline, d = 2 only
+	AlgoMDRRRr      = "mdrrrr"     // randomized k-set baseline
+	AlgoMDRC        = "mdrc"       // space-partition heuristic baseline
+	AlgoMDRMS       = "mdrms"      // regret-ratio (RMS) baseline
+	AlgoMDRRR       = "mdrrr"      // deterministic k-set baseline (small n only)
+	AlgoRMSGreedy   = "rms-greedy" // classic greedy RMS
+	AlgoSkylineOnly = "skyline"    // first r skyline tuples (naive)
+)
+
+func init() {
+	Register(twoDRRMSolver{})
+	Register(hdrrmSolver{})
+	Register(twoDRRRSolver{})
+	Register(mdrrrrSolver{})
+	Register(mdrcSolver{})
+	Register(mdrmsSolver{})
+	Register(mdrrrSolver{})
+	Register(rmsGreedySolver{})
+	Register(skylineSolver{})
+}
+
+// twoDRRMSolver is the paper's exact 2D dynamic program (Algorithm 1),
+// restricted-space aware, and an exact DualSolver.
+type twoDRRMSolver struct{}
+
+func (twoDRRMSolver) Name() string { return AlgoTwoDRRM }
+
+func (twoDRRMSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	if ds.Dim() != 2 {
+		return nil, ErrDimension
+	}
+	var res algo2d.Result
+	var err error
+	if opts.Space != nil {
+		res, err = algo2d.TwoDRRMRestrictedCtx(ctx, ds, r, opts.Space)
+	} else {
+		res, err = algo2d.TwoDRRMCtx(ctx, ds, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRM}, nil
+}
+
+func (twoDRRMSolver) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (*Solution, error) {
+	if ds.Dim() != 2 {
+		return nil, ErrDimension
+	}
+	var res algo2d.Result
+	var ok bool
+	var err error
+	if opts.Space != nil {
+		res, ok, err = algo2d.TwoDRRRExactRestrictedCtx(ctx, ds, k, opts.Space)
+	} else {
+		res, ok, err = algo2d.TwoDRRRExactCtx(ctx, ds, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: no subset achieves rank-regret %d", k)
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRM}, nil
+}
+
+// hdrrmSolver is the paper's HDRRM (Algorithm 3) and, as a DualSolver, a
+// single ASMS pass at threshold k (Theorem 9).
+type hdrrmSolver struct{}
+
+func (hdrrmSolver) Name() string { return AlgoHDRRM }
+
+func (hdrrmSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.HDRRMCtx(ctx, ds, r, opts.hd())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+}
+
+func (hdrrmSolver) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (*Solution, error) {
+	res, err := algohd.HDRRRCtx(ctx, ds, k, opts.hd())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+}
+
+// VariantSolver wraps an HDRRM ablation variant as an engine Solver so
+// ablation studies run through the same caching and cancellation layer. The
+// name is "hdrrm:<variant>"; variants are not in the registry — pass the
+// instance to Engine.SolveWith.
+func VariantSolver(v algohd.Variant) Solver { return variantSolver{v} }
+
+type variantSolver struct{ v algohd.Variant }
+
+func (s variantSolver) Name() string { return "hdrrm:" + s.v.Name() }
+
+func (s variantSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.HDRRMVariantCtx(ctx, ds, r, opts.hd(), s.v)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+}
+
+// twoDRRRSolver is the Asudeh et al. 2D baseline adapted to RRM.
+type twoDRRRSolver struct{}
+
+func (twoDRRRSolver) Name() string { return AlgoTwoDRRR }
+
+func (twoDRRRSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	if ds.Dim() != 2 {
+		return nil, ErrDimension
+	}
+	if opts.Space != nil {
+		return nil, errors.New("engine: 2DRRR baseline does not support restricted spaces")
+	}
+	res, err := algo2d.TwoDRRRBaselineForRRMCtx(ctx, ds, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRR}, nil
+}
+
+// mdrrrrSolver is the randomized k-set hitting-set baseline.
+type mdrrrrSolver struct{}
+
+func (mdrrrrSolver) Name() string { return AlgoMDRRRr }
+
+func (mdrrrrSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.MDRRRrCtx(ctx, ds, r, opts.hd())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoMDRRRr}, nil
+}
+
+// mdrcSolver is the space-partition heuristic baseline.
+type mdrcSolver struct{}
+
+func (mdrcSolver) Name() string { return AlgoMDRC }
+
+func (mdrcSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	if opts.Space != nil {
+		return nil, errors.New("engine: MDRC does not support restricted spaces")
+	}
+	res, err := algohd.MDRCCtx(ctx, ds, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, Algorithm: AlgoMDRC}, nil
+}
+
+// mdrmsSolver is the regret-ratio minimization baseline.
+type mdrmsSolver struct{}
+
+func (mdrmsSolver) Name() string { return AlgoMDRMS }
+
+func (mdrmsSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.MDRMSCtx(ctx, ds, r, opts.hd())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, Algorithm: AlgoMDRMS}, nil
+}
+
+// mdrrrSolver is the deterministic k-set baseline (small n only).
+type mdrrrSolver struct{}
+
+func (mdrrrSolver) Name() string { return AlgoMDRRR }
+
+func (mdrrrSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.MDRRRCtx(ctx, ds, r, opts.hd(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoMDRRR}, nil
+}
+
+// rmsGreedySolver is the classic greedy RMS algorithm.
+type rmsGreedySolver struct{}
+
+func (rmsGreedySolver) Name() string { return AlgoRMSGreedy }
+
+func (rmsGreedySolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	res, err := algohd.RMSGreedyCtx(ctx, ds, r, opts.hd())
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{IDs: res.IDs, Algorithm: AlgoRMSGreedy}, nil
+}
+
+// skylineSolver returns the first r skyline (or U-skyline) tuples — the
+// naive candidate-set truncation.
+type skylineSolver struct{}
+
+func (skylineSolver) Name() string { return AlgoSkylineOnly }
+
+func (skylineSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	if err := ctxutil.Cancelled(ctx); err != nil {
+		return nil, err
+	}
+	var ids []int
+	var err error
+	if opts.Space == nil {
+		ids = skyline.Compute(ds)
+	} else {
+		ids, err = skyline.ComputeRestricted(ds, opts.Space)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) > r {
+		ids = ids[:r]
+	}
+	return &Solution{IDs: ids, Algorithm: AlgoSkylineOnly}, nil
+}

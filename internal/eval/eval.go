@@ -6,11 +6,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"github.com/rankregret/rankregret/internal/algo2d"
+	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/topk"
@@ -22,6 +24,13 @@ import (
 // parallel. A nil space means the full orthant. The estimate is a lower
 // bound on the true maximum that converges as samples grow.
 func RankRegret(ds *dataset.Dataset, ids []int, space funcspace.Space, samples int, seed int64) (int, error) {
+	return RankRegretCtx(nil, ds, ids, space, samples, seed)
+}
+
+// RankRegretCtx is RankRegret with cooperative cancellation: each sampling
+// worker checks ctx periodically and the call returns ctx.Err() promptly on
+// cancellation.
+func RankRegretCtx(ctx context.Context, ds *dataset.Dataset, ids []int, space funcspace.Space, samples int, seed int64) (int, error) {
 	if len(ids) == 0 {
 		return 0, fmt.Errorf("eval: empty set has no rank-regret")
 	}
@@ -50,6 +59,9 @@ func RankRegret(ds *dataset.Dataset, ids []int, space funcspace.Space, samples i
 			scores := make([]float64, ds.N())
 			worst := 0
 			for i := 0; i < count; i++ {
+				if i%64 == 0 && ctxutil.Cancelled(ctx) != nil {
+					return
+				}
 				u := space.Sample(rng)
 				if u == nil {
 					continue
@@ -62,6 +74,9 @@ func RankRegret(ds *dataset.Dataset, ids []int, space funcspace.Space, samples i
 		}(w, count)
 	}
 	wg.Wait()
+	if err := ctxutil.Cancelled(ctx); err != nil {
+		return 0, err
+	}
 	worst := 0
 	for _, v := range worsts {
 		if v > worst {

@@ -5,7 +5,10 @@
 // HDRRM's size guarantee (Theorem 9).
 package setcover
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+)
 
 // coverHeap is a lazy max-heap of candidate sets keyed by (stale) uncovered
 // counts.
@@ -43,8 +46,16 @@ func (h *coverHeap) Pop() any {
 // re-scoring a set only when it surfaces. Total time O(sum of set sizes *
 // log(#sets)).
 func Greedy(universe int, sets [][]int) (chosen []int, ok bool) {
+	chosen, ok, _ = GreedyCtx(nil, universe, sets)
+	return chosen, ok
+}
+
+// GreedyCtx is Greedy with cooperative cancellation: the selection loop
+// checks ctx between rounds and returns ctx.Err() with the partial cover
+// chosen so far. A nil ctx disables the checks.
+func GreedyCtx(ctx context.Context, universe int, sets [][]int) (chosen []int, ok bool, err error) {
 	if universe == 0 {
-		return nil, true
+		return nil, true, nil
 	}
 	covered := make([]bool, universe)
 	remaining := universe
@@ -68,7 +79,19 @@ func Greedy(universe int, sets [][]int) (chosen []int, ok bool) {
 		return g
 	}
 
+	const checkEvery = 64
+	iter := 0
 	for remaining > 0 && h.Len() > 0 {
+		if ctx != nil {
+			if iter%checkEvery == 0 {
+				select {
+				case <-ctx.Done():
+					return chosen, false, ctx.Err()
+				default:
+				}
+			}
+			iter++
+		}
 		top := heap.Pop(h).([2]int)
 		gain, id := top[0], top[1]
 		g := fresh(id)
@@ -89,7 +112,7 @@ func Greedy(universe int, sets [][]int) (chosen []int, ok bool) {
 			}
 		}
 	}
-	return chosen, remaining == 0
+	return chosen, remaining == 0, nil
 }
 
 // CoverSize returns how many elements of the universe the chosen sets cover.

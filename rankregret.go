@@ -31,6 +31,7 @@
 package rankregret
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"github.com/rankregret/rankregret/internal/algo2d"
 	"github.com/rankregret/rankregret/internal/algohd"
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/eval"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/skyline"
@@ -105,22 +107,33 @@ func BallSpace(center []float64, radius float64) (Space, error) {
 	return funcspace.NewBall(center, radius)
 }
 
-// Algorithm selects a solver.
+// Algorithm selects a solver by its name in the engine registry.
 type Algorithm string
 
 // Available algorithms. Auto picks TwoDRRM for d = 2 and HDRRM otherwise.
 const (
 	Auto            Algorithm = ""
-	AlgoTwoDRRM     Algorithm = "2drrm"  // exact DP, d = 2 only
-	AlgoHDRRM       Algorithm = "hdrrm"  // double approximation, any d
-	AlgoTwoDRRR     Algorithm = "2drrr"  // Asudeh et al. 2D baseline, d = 2 only
-	AlgoMDRRRr      Algorithm = "mdrrrr" // randomized k-set baseline
-	AlgoMDRC        Algorithm = "mdrc"   // space-partition heuristic baseline
-	AlgoMDRMS       Algorithm = "mdrms"  // regret-ratio (RMS) baseline
-	AlgoMDRRR       Algorithm = "mdrrr"  // deterministic k-set baseline (small n only)
-	AlgoRMSGreedy   Algorithm = "rms-greedy"
-	AlgoSkylineOnly Algorithm = "skyline" // returns the first r skyline tuples (naive)
+	AlgoTwoDRRM     Algorithm = engine.AlgoTwoDRRM     // exact DP, d = 2 only
+	AlgoHDRRM       Algorithm = engine.AlgoHDRRM       // double approximation, any d
+	AlgoTwoDRRR     Algorithm = engine.AlgoTwoDRRR     // Asudeh et al. 2D baseline, d = 2 only
+	AlgoMDRRRr      Algorithm = engine.AlgoMDRRRr      // randomized k-set baseline
+	AlgoMDRC        Algorithm = engine.AlgoMDRC        // space-partition heuristic baseline
+	AlgoMDRMS       Algorithm = engine.AlgoMDRMS       // regret-ratio (RMS) baseline
+	AlgoMDRRR       Algorithm = engine.AlgoMDRRR       // deterministic k-set baseline (small n only)
+	AlgoRMSGreedy   Algorithm = engine.AlgoRMSGreedy   // classic greedy RMS
+	AlgoSkylineOnly Algorithm = engine.AlgoSkylineOnly // returns the first r skyline tuples (naive)
 )
+
+// Algorithms returns the names of every solver registered with the engine,
+// sorted. Each name is a valid Options.Algorithm value.
+func Algorithms() []Algorithm {
+	names := engine.Algorithms()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
+}
 
 // Options configures Solve. The zero value (and nil) mean: pick the
 // algorithm automatically, solve plain RRM with the paper's default
@@ -176,6 +189,12 @@ type HDRRMVariant = algohd.Variant
 // solving real problems should call Solve; this entry point exists for the
 // ablation benchmarks and for studying the algorithm's design choices.
 func SolveVariant(ds *Dataset, r int, opts *Options, v HDRRMVariant) (*Solution, error) {
+	return SolveVariantContext(context.Background(), ds, r, opts, v)
+}
+
+// SolveVariantContext is SolveVariant with a context: cancelling ctx aborts
+// the solve from inside its hot loops.
+func SolveVariantContext(ctx context.Context, ds *Dataset, r int, opts *Options, v HDRRMVariant) (*Solution, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, errors.New("rankregret: empty dataset")
 	}
@@ -183,11 +202,11 @@ func SolveVariant(ds *Dataset, r int, opts *Options, v HDRRMVariant) (*Solution,
 		return nil, fmt.Errorf("rankregret: output size r = %d, need >= 1", r)
 	}
 	o := opts.orDefault()
-	res, err := algohd.HDRRMVariant(ds, r, o.hdOptions(), v)
+	sol, err := engine.Default.SolveWith(ctx, ds, r, engine.VariantSolver(v), o.engineOptions())
 	if err != nil {
-		return nil, err
+		return nil, translateEngineErr(err)
 	}
-	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
+	return fromEngine(sol), nil
 }
 
 func (o *Options) orDefault() Options {
@@ -201,27 +220,36 @@ func (o *Options) orDefault() Options {
 	return v
 }
 
-func (o Options) hdOptions() algohd.Options {
-	ho := algohd.DefaultOptions()
-	if o.Gamma > 0 {
-		ho.Gamma = o.Gamma
+// engineOptions converts the public Options to the engine's option struct.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{
+		Space:      o.Space,
+		Gamma:      o.Gamma,
+		Delta:      o.Delta,
+		Samples:    o.Samples,
+		MaxSamples: o.MaxSamples,
+		Seed:       o.Seed,
+		Sampler:    o.Sampler,
 	}
-	if o.Delta > 0 {
-		ho.Delta = o.Delta
+}
+
+// translateEngineErr maps engine sentinel errors to this package's public
+// ones so callers comparing against ErrDimension keep working.
+func translateEngineErr(err error) error {
+	if errors.Is(err, engine.ErrDimension) {
+		return ErrDimension
 	}
-	if o.Samples > 0 {
-		ho.M = o.Samples
+	return err
+}
+
+// fromEngine converts an engine Solution to the public shape.
+func fromEngine(s *engine.Solution) *Solution {
+	return &Solution{
+		IDs:        s.IDs,
+		RankRegret: s.RankRegret,
+		Exact:      s.Exact,
+		Algorithm:  Algorithm(s.Algorithm),
 	}
-	switch {
-	case o.MaxSamples > 0:
-		ho.MaxM = o.MaxSamples
-	case o.MaxSamples < 0:
-		ho.MaxM = 0
-	}
-	ho.Seed = o.Seed
-	ho.Space = o.Space
-	ho.Sampler = o.Sampler
-	return ho
 }
 
 // Solution is the output of Solve and SolveRRR.
@@ -246,7 +274,16 @@ var ErrDimension = errors.New("rankregret: algorithm requires a 2-dimensional da
 // Solve computes a size-r rank-regret minimizing subset of ds. With nil
 // opts it runs the paper's primary algorithm for the dataset's
 // dimensionality: the exact 2D dynamic program when d = 2, HDRRM otherwise.
+// Dispatch goes through the engine registry (internal/engine): repeated
+// identical solves are answered from its LRU solution cache.
 func Solve(ds *Dataset, r int, opts *Options) (*Solution, error) {
+	return SolveContext(context.Background(), ds, r, opts)
+}
+
+// SolveContext is Solve with a context: cancelling ctx (or exceeding its
+// deadline) aborts the solve from inside the algorithms' hot loops and
+// returns ctx.Err().
+func SolveContext(ctx context.Context, ds *Dataset, r int, opts *Options) (*Solution, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, errors.New("rankregret: empty dataset")
 	}
@@ -254,100 +291,28 @@ func Solve(ds *Dataset, r int, opts *Options) (*Solution, error) {
 		return nil, fmt.Errorf("rankregret: output size r = %d, need >= 1", r)
 	}
 	o := opts.orDefault()
-	algo := o.Algorithm
-	if algo == Auto {
-		if ds.Dim() == 2 {
-			algo = AlgoTwoDRRM
-		} else {
-			algo = AlgoHDRRM
-		}
+	sol, err := engine.Default.Solve(ctx, ds, r, string(o.Algorithm), o.engineOptions())
+	if err != nil {
+		return nil, translateEngineErr(err)
 	}
-	switch algo {
-	case AlgoTwoDRRM:
-		if ds.Dim() != 2 {
-			return nil, ErrDimension
-		}
-		var res algo2d.Result
-		var err error
-		if o.Space != nil {
-			res, err = algo2d.TwoDRRMRestricted(ds, r, o.Space)
-		} else {
-			res, err = algo2d.TwoDRRM(ds, r)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: algo}, nil
-	case AlgoTwoDRRR:
-		if ds.Dim() != 2 {
-			return nil, ErrDimension
-		}
-		if o.Space != nil {
-			return nil, errors.New("rankregret: 2DRRR baseline does not support restricted spaces")
-		}
-		res, err := algo2d.TwoDRRRBaselineForRRM(ds, r)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: algo}, nil
-	case AlgoHDRRM:
-		res, err := algohd.HDRRM(ds, r, o.hdOptions())
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
-	case AlgoMDRRRr:
-		res, err := algohd.MDRRRr(ds, r, o.hdOptions())
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
-	case AlgoMDRC:
-		if o.Space != nil {
-			return nil, errors.New("rankregret: MDRC does not support restricted spaces")
-		}
-		res, err := algohd.MDRC(ds, r)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
-	case AlgoMDRMS:
-		res, err := algohd.MDRMS(ds, r, o.hdOptions())
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
-	case AlgoMDRRR:
-		res, err := algohd.MDRRR(ds, r, o.hdOptions(), 0)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: algo}, nil
-	case AlgoRMSGreedy:
-		res, err := algohd.RMSGreedy(ds, r, o.hdOptions())
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{IDs: res.IDs, Algorithm: algo}, nil
-	case AlgoSkylineOnly:
-		ids, err := skylineCandidates(ds, o.Space)
-		if err != nil {
-			return nil, err
-		}
-		if len(ids) > r {
-			ids = ids[:r]
-		}
-		return &Solution{IDs: ids, Algorithm: algo}, nil
-	default:
-		return nil, fmt.Errorf("rankregret: unknown algorithm %q", algo)
-	}
+	return fromEngine(sol), nil
 }
 
 // SolveRRR solves the dual rank-regret representative problem: the minimum
 // size set with rank-regret at most k. For d = 2 it is exact (a mode of the
 // 2D DP); in HD it runs HDRRM's ASMS solver once at threshold k, inheriting
 // its (1 + ln|D|) size approximation (Theorem 9).
+//
+// Options.Algorithm must name a solver that supports the dual problem
+// (2drrm or hdrrm) or be Auto. Earlier releases silently ignored the field
+// and always fell back to HDRRR; since the engine refactor a non-dual
+// algorithm (e.g. mdrc) is an error, and 2drrm on d != 2 is ErrDimension.
 func SolveRRR(ds *Dataset, k int, opts *Options) (*Solution, error) {
+	return SolveRRRContext(context.Background(), ds, k, opts)
+}
+
+// SolveRRRContext is SolveRRR with a context (see SolveContext).
+func SolveRRRContext(ctx context.Context, ds *Dataset, k int, opts *Options) (*Solution, error) {
 	if ds == nil || ds.N() == 0 {
 		return nil, errors.New("rankregret: empty dataset")
 	}
@@ -355,35 +320,11 @@ func SolveRRR(ds *Dataset, k int, opts *Options) (*Solution, error) {
 		return nil, fmt.Errorf("rankregret: threshold k = %d out of range [1, %d]", k, ds.N())
 	}
 	o := opts.orDefault()
-	if ds.Dim() == 2 && (o.Algorithm == Auto || o.Algorithm == AlgoTwoDRRM) {
-		var res algo2d.Result
-		var ok bool
-		var err error
-		if o.Space != nil {
-			res, ok, err = algo2d.TwoDRRRExactRestricted(ds, k, o.Space)
-		} else {
-			res, ok, err = algo2d.TwoDRRRExact(ds, k)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("rankregret: no subset achieves rank-regret %d", k)
-		}
-		return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRM}, nil
-	}
-	res, err := algohd.HDRRR(ds, k, o.hdOptions())
+	sol, err := engine.Default.SolveRRR(ctx, ds, k, string(o.Algorithm), o.engineOptions())
 	if err != nil {
-		return nil, err
+		return nil, translateEngineErr(err)
 	}
-	return &Solution{IDs: res.IDs, RankRegret: res.K, Algorithm: AlgoHDRRM}, nil
-}
-
-func skylineCandidates(ds *Dataset, sp Space) ([]int, error) {
-	if sp == nil {
-		return skyline.Compute(ds), nil
-	}
-	return skyline.ComputeRestricted(ds, sp)
+	return fromEngine(sol), nil
 }
 
 // Skyline returns the indices of the skyline (Pareto-optimal) tuples of ds,
