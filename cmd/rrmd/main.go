@@ -13,7 +13,8 @@
 //
 // Endpoints: GET /healthz, GET /v1/algorithms, GET /v1/datasets,
 // POST /v1/datasets, GET /v1/datasets/{name}, POST /v1/solve,
-// POST /v1/evaluate.
+// POST /v1/solve/batch, POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /v1/metrics, POST /v1/evaluate.
 package main
 
 import (
@@ -47,6 +48,8 @@ func run() error {
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-request solve timeout ceiling")
 		maxUpload = flag.Int64("max-upload", 64<<20, "maximum POST /v1/datasets body size in bytes")
 		cacheSize = flag.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
+		workers   = flag.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
 		demo      = flag.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
 		seed      = flag.Int64("seed", 1, "seed for -demo dataset generation")
 	)
@@ -61,7 +64,8 @@ func run() error {
 		return err
 	}
 
-	srv := NewServer(*cacheSize, *timeout)
+	srv := NewServer(*cacheSize, *timeout, *workers, *queueCap)
+	defer srv.Close()
 	srv.MaxUploadBytes = *maxUpload
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")

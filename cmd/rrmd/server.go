@@ -18,10 +18,11 @@ import (
 )
 
 // Server is the rrmd serving core: a named-dataset registry in front of a
-// solver engine. It is safe for concurrent use; every handler may run on
-// many goroutines at once.
+// solver engine and its job scheduler. It is safe for concurrent use; every
+// handler may run on many goroutines at once.
 type Server struct {
 	eng        *engine.Engine
+	sched      *engine.Scheduler
 	maxTimeout time.Duration
 
 	// MaxUploadBytes bounds the size of a POST /v1/datasets body.
@@ -32,18 +33,26 @@ type Server struct {
 }
 
 // NewServer returns a Server with its own engine (cacheSize 0 = engine
-// default) and a per-request timeout ceiling (0 = 60s).
-func NewServer(cacheSize int, maxTimeout time.Duration) *Server {
+// default), a per-request timeout ceiling (0 = 60s), and a job scheduler
+// with the given worker count (0 = GOMAXPROCS) and queue capacity (0 =
+// 256). Call Close when done with the server.
+func NewServer(cacheSize int, maxTimeout time.Duration, workers, queueCap int) *Server {
 	if maxTimeout <= 0 {
 		maxTimeout = 60 * time.Second
 	}
+	eng := engine.New(cacheSize)
 	return &Server{
-		eng:            engine.New(cacheSize),
+		eng:            eng,
+		sched:          engine.NewScheduler(eng, workers, queueCap),
 		maxTimeout:     maxTimeout,
 		MaxUploadBytes: 64 << 20, // 64 MiB
 		datasets:       make(map[string]*dataset.Dataset),
 	}
 }
+
+// Close stops the job scheduler, cancelling running jobs and failing queued
+// ones.
+func (s *Server) Close() { s.sched.Close() }
 
 // AddDataset registers ds under name, replacing any previous dataset with
 // that name.
@@ -76,6 +85,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	return mux
 }
@@ -194,32 +209,52 @@ type solveRequest struct {
 	TimeoutMS   int64   `json:"timeout_ms,omitempty"`
 }
 
-// solveResponse is the wire shape of a successful solve.
-type solveResponse struct {
-	Dataset    string            `json:"dataset"`
-	Algorithm  string            `json:"algorithm"`
-	IDs        []int             `json:"ids"`
-	RankRegret int               `json:"rank_regret"`
-	Exact      bool              `json:"exact"`
-	Estimated  *int              `json:"estimated_rank_regret,omitempty"`
-	Percent    *float64          `json:"estimated_percent,omitempty"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
-	Cache      engine.CacheStats `json:"cache"`
+// solveResult is the stable core of every solve answer. The same shape is
+// embedded in /v1/solve responses, /v1/solve/batch items, and finished
+// /v1/jobs statuses, so results from the three paths are directly
+// comparable.
+type solveResult struct {
+	Dataset    string `json:"dataset"`
+	Algorithm  string `json:"algorithm"`
+	IDs        []int  `json:"ids"`
+	RankRegret int    `json:"rank_regret"`
+	Exact      bool   `json:"exact"`
 }
 
-// reqSetup resolves the pieces a solve/evaluate request shares: the
-// dataset, the parsed space, and the bounded request context.
-func (s *Server) reqSetup(r *http.Request, name, spec string, timeoutMS int64) (*dataset.Dataset, funcspace.Space, context.Context, context.CancelFunc, int, error) {
+func resultOf(name string, sol *engine.Solution) solveResult {
+	return solveResult{
+		Dataset:    name,
+		Algorithm:  sol.Algorithm,
+		IDs:        sol.IDs,
+		RankRegret: sol.RankRegret,
+		Exact:      sol.Exact,
+	}
+}
+
+// solveResponse is the wire shape of a successful solve.
+type solveResponse struct {
+	solveResult
+	Estimated *int              `json:"estimated_rank_regret,omitempty"`
+	Percent   *float64          `json:"estimated_percent,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Cache     engine.CacheStats `json:"cache"`
+}
+
+// resolve looks up the dataset, parses the space spec, and clamps the
+// requested timeout to the server ceiling — the validation every
+// dataset-touching endpoint shares. The returned int is the HTTP status to
+// use when err is non-nil.
+func (s *Server) resolve(name, spec string, timeoutMS int64) (*dataset.Dataset, funcspace.Space, time.Duration, int, error) {
 	ds, ok := s.dataset(name)
 	if !ok {
-		return nil, nil, nil, nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+		return nil, nil, 0, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
 	}
 	var sp funcspace.Space
 	if spec != "" {
 		var err error
 		sp, err = cliutil.ParseSpace(spec, ds.Dim())
 		if err != nil {
-			return nil, nil, nil, nil, http.StatusBadRequest, err
+			return nil, nil, 0, http.StatusBadRequest, err
 		}
 	}
 	timeout := s.maxTimeout
@@ -228,8 +263,7 @@ func (s *Server) reqSetup(r *http.Request, name, spec string, timeoutMS int64) (
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	return ds, sp, ctx, cancel, 0, nil
+	return ds, sp, timeout, 0, nil
 }
 
 func statusOf(err error) int {
@@ -249,30 +283,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	if (req.R > 0) == (req.K > 0) {
-		writeErr(w, http.StatusBadRequest, errors.New("exactly one of r and k must be positive"))
-		return
-	}
-	ds, sp, ctx, cancel, status, err := s.reqSetup(r, req.Dataset, req.Space, req.TimeoutMS)
+	er, status, err := s.engineRequest(req)
 	if err != nil {
 		writeErr(w, status, err)
 		return
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), er.Timeout)
 	defer cancel()
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	opts := engine.Options{
-		Space:      sp,
-		SpaceKey:   req.Space,
-		CacheSalt:  req.Dataset,
-		Gamma:      req.Gamma,
-		Delta:      req.Delta,
-		Samples:    req.Samples,
-		MaxSamples: req.MaxSamples,
-		Seed:       seed,
-	}
 	start := time.Now()
 	type outcome struct {
 		sol *engine.Solution
@@ -282,17 +299,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	done := make(chan outcome, 1)
 	go func() {
 		var o outcome
-		if req.R > 0 {
-			o.sol, o.err = s.eng.Solve(ctx, ds, req.R, req.Algorithm, opts)
-		} else {
-			o.sol, o.err = s.eng.SolveRRR(ctx, ds, req.K, req.Algorithm, opts)
-		}
+		o.sol, o.err = er.Run(ctx, s.eng)
 		if o.err == nil && req.EvalSamples > 0 {
-			space := sp
+			space := er.Opts.Space
 			if space == nil {
-				space = funcspace.NewFull(ds.Dim())
+				space = funcspace.NewFull(er.Dataset.Dim())
 			}
-			est, err := eval.RankRegretCtx(ctx, ds, o.sol.IDs, space, clampSamples(req.EvalSamples), seed+7)
+			est, err := eval.RankRegretCtx(ctx, er.Dataset, o.sol.IDs, space, clampSamples(req.EvalSamples), er.Opts.Seed+7)
 			if err != nil {
 				o.err = err
 			} else {
@@ -316,16 +329,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := solveResponse{
-		Dataset:    req.Dataset,
-		Algorithm:  o.sol.Algorithm,
-		IDs:        o.sol.IDs,
-		RankRegret: o.sol.RankRegret,
-		Exact:      o.sol.Exact,
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		Cache:      s.eng.CacheStats(),
+		solveResult: resultOf(req.Dataset, o.sol),
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Cache:       s.eng.CacheStats(),
 	}
 	if o.est != nil {
-		pct := 100 * float64(*o.est) / float64(ds.N())
+		pct := 100 * float64(*o.est) / float64(er.Dataset.N())
 		resp.Estimated = o.est
 		resp.Percent = &pct
 	}
@@ -341,6 +350,242 @@ func clampSamples(n int) int {
 		return maxEvalSamples
 	}
 	return n
+}
+
+// engineRequest validates a wire solveRequest and converts it into an
+// engine request: the single conversion point shared by /v1/solve, the
+// batch endpoint, and the jobs endpoint, so the three paths cannot drift.
+// The returned int is the HTTP status to use when err is non-nil.
+func (s *Server) engineRequest(req solveRequest) (engine.Request, int, error) {
+	if (req.R > 0) == (req.K > 0) {
+		return engine.Request{}, http.StatusBadRequest, errors.New("exactly one of r and k must be positive")
+	}
+	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS)
+	if err != nil {
+		return engine.Request{}, status, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	er := engine.Request{
+		Dataset:   ds,
+		Label:     req.Dataset,
+		Mode:      engine.ModeRRM,
+		RK:        req.R,
+		Algorithm: req.Algorithm,
+		Timeout:   timeout,
+		Opts: engine.Options{
+			Space:      sp,
+			SpaceKey:   req.Space,
+			CacheSalt:  req.Dataset,
+			Gamma:      req.Gamma,
+			Delta:      req.Delta,
+			Samples:    req.Samples,
+			MaxSamples: req.MaxSamples,
+			Seed:       seed,
+		},
+	}
+	if req.K > 0 {
+		er.Mode = engine.ModeRRR
+		er.RK = req.K
+	}
+	return er, 0, nil
+}
+
+// batchRequest is the wire shape of POST /v1/solve/batch: a list of solve
+// requests fanned out over the scheduler's worker pool. TimeoutMS bounds
+// the whole batch (capped by the server ceiling); per-item timeout_ms
+// bounds individual solves once they start.
+type batchRequest struct {
+	Requests  []solveRequest `json:"requests"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+// batchItem is one answer of a batch response, in request order. Exactly
+// one of the embedded result and Error is present.
+type batchItem struct {
+	Index int `json:"index"`
+	*solveResult
+	Error string `json:"error,omitempty"`
+}
+
+// maxBatchSize bounds how many solves one batch request may carry.
+const maxBatchSize = 256
+
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("requests must be non-empty"))
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the limit of %d", len(req.Requests), maxBatchSize))
+		return
+	}
+	timeout := s.maxTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Invalid items are answered inline; only the valid ones are scheduled,
+	// so one bad request does not sink the batch.
+	items := make([]batchItem, len(req.Requests))
+	var engReqs []engine.Request
+	var engIdx []int
+	for i, sr := range req.Requests {
+		items[i].Index = i
+		er, _, err := scheduledRequest(s, sr)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		engReqs = append(engReqs, er)
+		engIdx = append(engIdx, i)
+	}
+	start := time.Now()
+	statuses, err := s.sched.Batch(ctx, engReqs)
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	for bi, st := range statuses {
+		i := engIdx[bi]
+		if st.Error != "" {
+			items[i].Error = st.Error
+			continue
+		}
+		res := resultOf(st.Label, st.Solution)
+		items[i].solveResult = &res
+	}
+	writeOK(w, http.StatusOK, map[string]any{
+		"count":      len(items),
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+		"results":    items,
+		"metrics":    s.eng.Metrics(),
+	})
+}
+
+// scheduledRequest is engineRequest plus the scheduler-only restriction:
+// the sampling estimator is a /v1/solve feature, asynchronous callers
+// evaluate results via /v1/evaluate instead.
+func scheduledRequest(s *Server, req solveRequest) (engine.Request, int, error) {
+	if req.EvalSamples > 0 {
+		return engine.Request{}, http.StatusBadRequest, errors.New("eval_samples is not supported for scheduled solves; call /v1/evaluate on the result")
+	}
+	return s.engineRequest(req)
+}
+
+// jobStatusResponse is the wire shape of one scheduled job.
+type jobStatusResponse struct {
+	ID         string          `json:"id"`
+	State      engine.JobState `json:"state"`
+	Dataset    string          `json:"dataset,omitempty"`
+	Mode       engine.Mode     `json:"mode"`
+	RK         int             `json:"rk"`
+	Algorithm  string          `json:"algorithm,omitempty"`
+	Result     *solveResult    `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	EnqueuedAt time.Time       `json:"enqueued_at"`
+	StartedAt  time.Time       `json:"started_at,omitzero"`
+	FinishedAt time.Time       `json:"finished_at,omitzero"`
+	ElapsedMS  float64         `json:"elapsed_ms,omitempty"`
+}
+
+func wireStatus(st engine.JobStatus) jobStatusResponse {
+	out := jobStatusResponse{
+		ID:         st.ID,
+		State:      st.State,
+		Dataset:    st.Label,
+		Mode:       st.Mode,
+		RK:         st.RK,
+		Algorithm:  st.Algorithm,
+		Error:      st.Error,
+		EnqueuedAt: st.EnqueuedAt,
+		StartedAt:  st.StartedAt,
+		FinishedAt: st.FinishedAt,
+		ElapsedMS:  st.ElapsedMS,
+	}
+	if st.Solution != nil {
+		res := resultOf(st.Label, st.Solution)
+		out.Result = &res
+	}
+	return out
+}
+
+// handleJobSubmit enqueues an asynchronous solve:
+//
+//	POST /v1/jobs {"dataset":"cars","r":5}  ->  202 {"id":"job-000001",...}
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	er, status, err := scheduledRequest(s, req)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	st, err := s.sched.Submit(er)
+	if err != nil {
+		if errors.Is(err, engine.ErrQueueFull) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeOK(w, http.StatusAccepted, wireStatus(st))
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.sched.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeOK(w, http.StatusOK, wireStatus(st))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.sched.Cancel(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeOK(w, http.StatusOK, wireStatus(st))
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	statuses := s.sched.Jobs()
+	out := make([]jobStatusResponse, len(statuses))
+	for i, st := range statuses {
+		out[i] = wireStatus(st)
+	}
+	writeOK(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleMetrics reports both engine cache tiers and the scheduler state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	nds := len(s.datasets)
+	s.mu.RUnlock()
+	writeOK(w, http.StatusOK, map[string]any{
+		"engine":    s.eng.Metrics(),
+		"scheduler": s.sched.Stats(),
+		"datasets":  nds,
+	})
 }
 
 // evaluateRequest is the wire shape of POST /v1/evaluate: an independent
@@ -364,11 +609,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
 		return
 	}
-	ds, sp, ctx, cancel, status, err := s.reqSetup(r, req.Dataset, req.Space, req.TimeoutMS)
+	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS)
 	if err != nil {
 		writeErr(w, status, err)
 		return
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	for _, id := range req.IDs {
 		if id < 0 || id >= ds.N() {

@@ -14,12 +14,14 @@ import (
 
 	"github.com/rankregret/rankregret"
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := NewServer(0, 30*time.Second)
+	srv := NewServer(0, 30*time.Second, 0, 0)
+	t.Cleanup(srv.Close)
 	if err := srv.AddDataset("island", dataset.SimIsland(xrand.New(1), 400)); err != nil {
 		t.Fatal(err)
 	}
@@ -252,5 +254,268 @@ func TestRequestValidation(t *testing.T) {
 				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
 			}
 		})
+	}
+}
+
+// canonicalResult reduces any solve-shaped JSON (a /v1/solve response, a
+// batch item, or a job result) to the marshaled stable solveResult subset,
+// so results from different endpoints can be compared byte-for-byte.
+func canonicalResult(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var res solveResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("unmarshal result: %v (%s)", err, raw)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// goldenRequests is the mixed workload the batch/jobs equivalence tests
+// replay: both datasets, both problem modes, auto and explicit algorithms.
+func goldenRequests() []solveRequest {
+	return []solveRequest{
+		{Dataset: "island", R: 5},
+		{Dataset: "island", R: 7},
+		{Dataset: "nba", R: 6, Algorithm: "hdrrm", MaxSamples: 800},
+		{Dataset: "nba", R: 8, Algorithm: "hdrrm", MaxSamples: 800},
+		{Dataset: "nba", K: 25, Algorithm: "hdrrm", MaxSamples: 800},
+		{Dataset: "island", K: 3},
+	}
+}
+
+// sequentialGolden answers each request through plain /v1/solve and returns
+// the canonical result bytes.
+func sequentialGolden(t *testing.T, url string, reqs []solveRequest) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(reqs))
+	for i, sr := range reqs {
+		resp, body := postJSON(t, url+"/v1/solve", sr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sequential solve %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		out[i] = canonicalResult(t, body)
+	}
+	return out
+}
+
+// TestBatchMatchesSequentialSolve is the golden equivalence check for
+// POST /v1/solve/batch: every batch item must be byte-identical (on the
+// stable result subset) to the corresponding sequential /v1/solve call.
+func TestBatchMatchesSequentialSolve(t *testing.T) {
+	_, ts := newTestServer(t)
+	reqs := goldenRequests()
+	want := sequentialGolden(t, ts.URL, reqs)
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve/batch", map[string]any{"requests": reqs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var batch struct {
+		Count   int               `json:"count"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Count != len(reqs) || len(batch.Results) != len(reqs) {
+		t.Fatalf("batch answered %d/%d items, want %d", batch.Count, len(batch.Results), len(reqs))
+	}
+	for i, raw := range batch.Results {
+		var item struct {
+			Index int    `json:"index"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &item); err != nil {
+			t.Fatal(err)
+		}
+		if item.Error != "" {
+			t.Fatalf("batch item %d failed: %s", i, item.Error)
+		}
+		if item.Index != i {
+			t.Errorf("batch item %d carries index %d", i, item.Index)
+		}
+		if got := canonicalResult(t, raw); !bytes.Equal(got, want[i]) {
+			t.Errorf("batch item %d = %s, sequential = %s", i, got, want[i])
+		}
+	}
+}
+
+// waitForJob polls GET /v1/jobs/{id} until the job leaves the queued and
+// running states.
+func waitForJob(t *testing.T, url, id string) jobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatusResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == engine.JobDone || st.State == engine.JobFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobsMatchSequentialSolve is the golden equivalence check for the
+// async path: POST /v1/jobs + GET /v1/jobs/{id} must produce results
+// byte-identical to sequential /v1/solve calls.
+func TestJobsMatchSequentialSolve(t *testing.T) {
+	_, ts := newTestServer(t)
+	reqs := goldenRequests()
+	want := sequentialGolden(t, ts.URL, reqs)
+
+	ids := make([]string, len(reqs))
+	for i, sr := range reqs {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", sr)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var st jobStatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.ID == "" || (st.State != engine.JobQueued && st.State != engine.JobRunning) {
+			t.Fatalf("job submit %d returned %+v", i, st)
+		}
+		ids[i] = st.ID
+	}
+	for i, id := range ids {
+		st := waitForJob(t, ts.URL, id)
+		if st.State != engine.JobDone || st.Result == nil {
+			t.Fatalf("job %s = %+v, want done with a result", id, st)
+		}
+		raw, err := json.Marshal(st.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalResult(t, raw); !bytes.Equal(got, want[i]) {
+			t.Errorf("job %d result = %s, sequential = %s", i, got, want[i])
+		}
+	}
+}
+
+// TestJobCancelEndpoint cancels an expensive job through DELETE and checks
+// it lands in the failed state with a cancellation error.
+func TestJobCancelEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// A dataset large enough that the solve cannot finish before the
+	// cancellation lands.
+	if err := srv.AddDataset("weather", dataset.SimWeather(xrand.New(1), 4000)); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", solveRequest{Dataset: "weather", R: 10, Algorithm: "hdrrm"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var st jobStatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	delReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", delResp.StatusCode)
+	}
+	final := waitForJob(t, ts.URL, st.ID)
+	if final.State != engine.JobFailed || !strings.Contains(final.Error, "cancel") {
+		t.Errorf("cancelled job = %+v, want failed with a cancellation error", final)
+	}
+}
+
+// TestMetricsEndpoint checks GET /v1/metrics surfaces both cache tiers and
+// the scheduler, and that an r-sweep over one dataset registers as a single
+// VecSet build.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, r := range []int{6, 7, 8} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{Dataset: "nba", R: r, Algorithm: "hdrrm", MaxSamples: 800})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve r=%d: status %d: %s", r, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Engine    engine.Metrics        `json:"engine"`
+		Scheduler engine.SchedulerStats `json:"scheduler"`
+		Datasets  int                   `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Engine.VecSets.Builds != 1 {
+		t.Errorf("r-sweep built %d vector sets, want 1 (stats: %+v)", metrics.Engine.VecSets.Builds, metrics.Engine.VecSets)
+	}
+	if metrics.Engine.VecSets.Reuses < 2 {
+		t.Errorf("r-sweep reuses = %d, want >= 2", metrics.Engine.VecSets.Reuses)
+	}
+	if metrics.Engine.Solutions.Misses != 3 {
+		t.Errorf("solution misses = %d, want 3", metrics.Engine.Solutions.Misses)
+	}
+	if metrics.Scheduler.Workers < 1 || metrics.Scheduler.QueueCap < 1 {
+		t.Errorf("scheduler stats not populated: %+v", metrics.Scheduler)
+	}
+	if metrics.Datasets != 2 {
+		t.Errorf("datasets = %d, want 2", metrics.Datasets)
+	}
+}
+
+// TestBatchPartialValidation checks that invalid batch items are answered
+// inline without sinking the valid ones.
+func TestBatchPartialValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	reqs := []solveRequest{
+		{Dataset: "nosuch", R: 5},
+		{Dataset: "island", R: 4},
+		{Dataset: "island"}, // neither r nor k
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve/batch", map[string]any{"requests": reqs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var batch struct {
+		Results []struct {
+			Index int    `json:"index"`
+			IDs   []int  `json:"ids"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(batch.Results))
+	}
+	if !strings.Contains(batch.Results[0].Error, "unknown dataset") {
+		t.Errorf("item 0 error = %q, want unknown dataset", batch.Results[0].Error)
+	}
+	if batch.Results[1].Error != "" || len(batch.Results[1].IDs) == 0 {
+		t.Errorf("valid item 1 failed: %+v", batch.Results[1])
+	}
+	if !strings.Contains(batch.Results[2].Error, "exactly one of r and k") {
+		t.Errorf("item 2 error = %q, want r/k validation", batch.Results[2].Error)
 	}
 }

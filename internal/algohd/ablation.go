@@ -81,8 +81,27 @@ func HDRRMVariantCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Optio
 	if err != nil {
 		return Result{}, err
 	}
+	return HDRRMVariantWithVecSetCtx(ctx, ds, r, opts, v, vs)
+}
+
+// HDRRMVariantWithVecSetCtx runs an ablation's search phase against a
+// caller-provided vector set (see HDRRMWithVecSetCtx). For the NoGrid
+// ablation vs must have been built with gamma 1 and is stripped of its grid
+// here; note the stripped set cannot share a top-K cache, so the engine
+// only routes grid-keeping variants through its VecSet tier. For NoSamples,
+// vs must have been built (or acquired) with m = 0.
+func HDRRMVariantWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options, v Variant, vs *VecSet) (Result, error) {
+	if ds.N() == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
+	}
+	if v.NoGrid && v.NoSamples {
+		return Result{}, fmt.Errorf("algohd: ablation removed both Da and Db; nothing left to cover")
+	}
 	if v.NoGrid {
-		// ...which we then drop, keeping only Da.
+		// Drop Db, keeping only Da.
 		if vs.GridCount >= len(vs.Vecs) {
 			return Result{}, fmt.Errorf("algohd: no-grid ablation left an empty vector set")
 		}

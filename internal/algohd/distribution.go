@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
@@ -97,36 +96,19 @@ func BuildVecSetSampledCtx(ctx context.Context, ds *dataset.Dataset, space funcs
 	if sample == nil {
 		return BuildVecSetCtx(ctx, ds, space, gamma, m, rng)
 	}
-	d := ds.Dim()
-	if space == nil {
-		space = funcspace.NewFull(d)
-	}
-	if space.Dim() != d {
-		return nil, fmt.Errorf("algohd: space dim %d, dataset dim %d", space.Dim(), d)
-	}
-	base, err := BuildVecSetCtx(ctx, ds, space, gamma, 0, rng)
+	vecs, space, err := buildGrid(ds, space, gamma)
 	if err != nil {
 		return nil, err
 	}
-	vecs := base.Vecs
-	const maxRejects = 4096
-	for i := 0; i < m; i++ {
-		if i%256 == 0 {
-			if err := ctxutil.Cancelled(ctx); err != nil {
-				return nil, err
-			}
-		}
-		var u geom.Vector
-		for tries := 0; ; tries++ {
-			u = sample(rng)
-			if u != nil && len(u) == d && space.ContainsDirection(u) {
-				break
-			}
-			if tries >= maxRejects {
-				return nil, fmt.Errorf("algohd: sampler produced no direction inside %s after %d tries", space.Name(), maxRejects)
-			}
-		}
-		vecs = append(vecs, geom.Clone(u))
+	if len(vecs) == 0 {
+		// Matches the pre-refactor behavior: the sampled builder grew out of
+		// a grid-only build and requires a non-empty grid.
+		return nil, fmt.Errorf("algohd: empty vector set (space %s admits no directions)", space.Name())
 	}
-	return &VecSet{ds: ds, Vecs: vecs, GridCount: base.GridCount}, nil
+	gridCount := len(vecs)
+	vecs, err = drawSamples(ctx, space, m, rng, sample, vecs)
+	if err != nil {
+		return nil, err
+	}
+	return &VecSet{ds: ds, Vecs: vecs, GridCount: gridCount}, nil
 }

@@ -77,6 +77,28 @@ func (o Options) sampleSize(n, d, r int) int {
 	return SampleSizeTheorem10(n, d, r, delta, o.MaxM)
 }
 
+// SampleSize returns the effective Da size an HDRRM solve with output
+// budget r will use: the M override when set, otherwise the Theorem 10
+// formula under the options' delta and cap. Callers managing a shared
+// vector set (see SharedVecSet) use it to request the right prefix.
+func (o Options) SampleSize(n, d, r int) int { return o.sampleSize(n, d, r) }
+
+// SampleSizeRRR returns the effective Da size an HDRRR solve at threshold k
+// uses: the dual problem has no output budget, so the formula is evaluated
+// at the budget n/k + d a threshold-k solution plausibly needs.
+func (o Options) SampleSizeRRR(n, d, k int) int {
+	return o.sampleSize(n, d, n/maxInt(k, 1)+d)
+}
+
+// EffectiveGamma returns the polar-grid resolution the solve will use: the
+// configured Gamma, or the paper default 6 when unset.
+func (o Options) EffectiveGamma() int {
+	if o.Gamma < 1 {
+		return 6
+	}
+	return o.Gamma
+}
+
 // uniqueInts sorts and deduplicates.
 func uniqueInts(ids []int) []int {
 	sort.Ints(ids)
@@ -109,23 +131,32 @@ func ASMS(ds *dataset.Dataset, k int, basis []int, vs *VecSet) []int {
 // coverage scan, and the greedy set-cover rounds all check ctx and abort
 // with ctx.Err().
 func ASMSCtx(ctx context.Context, ds *dataset.Dataset, k int, basis []int, vs *VecSet) ([]int, error) {
-	if err := vs.EnsureTopKCtx(ctx, k); err != nil {
+	n := ds.N()
+	if k > n {
+		k = n
+	}
+	tops, err := vs.TopsCtx(ctx, k)
+	if err != nil {
 		return nil, err
 	}
-	inBasis := make(map[int]bool, len(basis))
+	inBasis := make([]bool, n)
 	for _, b := range basis {
 		inBasis[b] = true
 	}
-	// Dk: vectors not covered by the basis; VDk(t): vectors covered by t.
-	var dk []int // indices into vs.Vecs
-	coverOf := make(map[int][]int)
+	// Dk: vectors not covered by the basis; coverOf[t]: vectors (as indices
+	// into Dk) covered by tuple t. Dense slices instead of maps: the scan
+	// runs once per ASMS call over every vector in D and dominates the warm
+	// path when the top-K lists are already cached.
+	nDk := 0
+	coverOf := make([][]int, n)
+	var touched []int // tuple ids with a non-empty cover set, ascending
 	for v := 0; v < vs.Len(); v++ {
 		if v%4096 == 0 {
 			if err := ctxutil.Cancelled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		top := vs.Top(v, k)
+		top := tops[v][:k]
 		covered := false
 		for _, t := range top {
 			if inBasis[t] {
@@ -136,35 +167,26 @@ func ASMSCtx(ctx context.Context, ds *dataset.Dataset, k int, basis []int, vs *V
 		if covered {
 			continue
 		}
-		u := len(dk)
-		dk = append(dk, v)
+		u := nDk
+		nDk++
 		for _, t := range top {
+			if coverOf[t] == nil {
+				touched = append(touched, t)
+			}
 			coverOf[t] = append(coverOf[t], u)
 		}
 	}
-	if len(dk) == 0 {
+	if nDk == 0 {
 		return uniqueInts(append([]int(nil), basis...)), nil
 	}
-	// Set cover over the universe Dk.
-	tuples := make([]int, 0, len(coverOf))
-	sets := make([][]int, 0, len(coverOf))
-	for t, vset := range coverOf {
-		tuples = append(tuples, t)
-		sets = append(sets, vset)
+	// Set cover over the universe Dk, candidate tuples in ascending id order
+	// for reproducibility.
+	sort.Ints(touched)
+	sortedSets := make([][]int, len(touched))
+	for i, t := range touched {
+		sortedSets[i] = coverOf[t]
 	}
-	// Deterministic order for reproducibility (map iteration is random).
-	ord := make([]int, len(tuples))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool { return tuples[ord[a]] < tuples[ord[b]] })
-	sortedTuples := make([]int, len(ord))
-	sortedSets := make([][]int, len(ord))
-	for i, o := range ord {
-		sortedTuples[i] = tuples[o]
-		sortedSets[i] = sets[o]
-	}
-	chosen, ok, err := setcover.GreedyCtx(ctx, len(dk), sortedSets)
+	chosen, ok, err := setcover.GreedyCtx(ctx, nDk, sortedSets)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +196,7 @@ func ASMSCtx(ctx context.Context, ds *dataset.Dataset, k int, basis []int, vs *V
 	}
 	q := append([]int(nil), basis...)
 	for _, ci := range chosen {
-		q = append(q, sortedTuples[ci])
+		q = append(q, touched[ci])
 	}
 	return uniqueInts(q), nil
 }
@@ -200,16 +222,27 @@ func HDRRMCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (Re
 	if r < 1 {
 		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
 	}
-	gamma := opts.Gamma
-	if gamma < 1 {
-		gamma = 6
-	}
-	space := opts.space(d)
 	rng := xrand.New(opts.Seed)
 	m := opts.sampleSize(n, d, r)
-	vs, err := BuildVecSetSampledCtx(ctx, ds, space, gamma, m, rng, opts.Sampler)
+	vs, err := BuildVecSetSampledCtx(ctx, ds, opts.space(d), opts.EffectiveGamma(), m, rng, opts.Sampler)
 	if err != nil {
 		return Result{}, err
+	}
+	return HDRRMWithVecSetCtx(ctx, ds, r, opts, vs)
+}
+
+// HDRRMWithVecSetCtx runs the search phase of Algorithm 3 — forced basis
+// plus the improved binary search over ASMS — against a caller-provided
+// vector set: the reuse hook behind the engine's VecSet cache tier. The
+// result is identical to HDRRMCtx when vs covers the same dataset and was
+// built (or acquired from a SharedVecSet) with the solve's space, effective
+// gamma, seed, and exactly SampleSize(n, d, r) sampled directions.
+func HDRRMWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Options, vs *VecSet) (Result, error) {
+	if ds.N() == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if r < 1 {
+		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
 	}
 	basis := uniqueInts(ds.Basis())
 	if len(basis) > r {
@@ -285,16 +318,25 @@ func HDRRRCtx(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (Re
 	if k < 1 || k > n {
 		return Result{}, fmt.Errorf("algohd: threshold k=%d out of range [1, %d]", k, n)
 	}
-	gamma := opts.Gamma
-	if gamma < 1 {
-		gamma = 6
-	}
-	space := opts.space(d)
 	rng := xrand.New(opts.Seed)
-	m := opts.sampleSize(n, d, n/maxInt(k, 1)+d)
-	vs, err := BuildVecSetSampledCtx(ctx, ds, space, gamma, m, rng, opts.Sampler)
+	m := opts.SampleSizeRRR(n, d, k)
+	vs, err := BuildVecSetSampledCtx(ctx, ds, opts.space(d), opts.EffectiveGamma(), m, rng, opts.Sampler)
 	if err != nil {
 		return Result{}, err
+	}
+	return HDRRRWithVecSetCtx(ctx, ds, k, opts, vs)
+}
+
+// HDRRRWithVecSetCtx runs the single threshold-k ASMS pass of HDRRR against
+// a caller-provided vector set (see HDRRMWithVecSetCtx for the matching
+// rules; the sample size here is SampleSizeRRR(n, d, k)).
+func HDRRRWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, k int, opts Options, vs *VecSet) (Result, error) {
+	n := ds.N()
+	if n == 0 {
+		return Result{}, fmt.Errorf("algohd: empty dataset")
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("algohd: threshold k=%d out of range [1, %d]", k, n)
 	}
 	basis := uniqueInts(ds.Basis())
 	q, err := ASMSCtx(ctx, ds, k, basis, vs)

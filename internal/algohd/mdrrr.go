@@ -28,7 +28,11 @@ func kSetKey(ids []int) string {
 // terminology, following Asudeh et al.) witnessed by the vector set. It
 // returns the list of distinct sets.
 func discoverKSets(ctx context.Context, ds *dataset.Dataset, vs *VecSet, k int) ([][]int, error) {
-	if err := vs.EnsureTopKCtx(ctx, k); err != nil {
+	if k > ds.N() {
+		k = ds.N()
+	}
+	tops, err := vs.TopsCtx(ctx, k)
+	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
@@ -39,7 +43,7 @@ func discoverKSets(ctx context.Context, ds *dataset.Dataset, vs *VecSet, k int) 
 				return nil, err
 			}
 		}
-		top := vs.Top(v, k)
+		top := tops[v][:k]
 		key := kSetKey(top)
 		if !seen[key] {
 			seen[key] = true

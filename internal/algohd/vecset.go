@@ -25,6 +25,12 @@ import (
 // with lazily-maintained per-vector top-K tuple lists. Db is the polar-grid
 // discretization with parameter gamma (filtered to the restricted space for
 // RRRM); Da is a set of m sampled directions.
+//
+// A VecSet is either standalone (built by BuildVecSet and owning a private
+// top-K cache) or a view handed out by SharedVecSet.Acquire, in which case
+// the top-K cache is shared with every other view of the same underlying
+// vector list. Per-vector top lists depend only on the dataset and that one
+// vector, so sharing never changes results.
 type VecSet struct {
 	ds   *dataset.Dataset
 	Vecs []geom.Vector
@@ -32,9 +38,145 @@ type VecSet struct {
 	// (they are first); the rest are samples Da.
 	GridCount int
 
+	mu sync.Mutex // guards lazy tc initialization
+	tc *topsCache
+}
+
+// topsCache is the lazily grown per-vector top-K store behind one or more
+// VecSets. It may cover more vectors than any single view exposes (the
+// canonical list grows as SharedVecSet extends its sample stream); views
+// index into the shared prefix. Committed tops entries are never mutated in
+// place, so snapshots taken under the state lock stay valid outside it.
+//
+// Two locks: buildMu serializes the expensive scoring passes (so
+// concurrent solves coalesce on one build), while mu guards the fields and
+// is only ever held briefly — publishing a grown vector list or reading a
+// snapshot never waits behind a build.
+type topsCache struct {
+	ds *dataset.Dataset
+
+	buildMu sync.Mutex // serializes (re)builds; never held while mu is held
+
 	mu   sync.Mutex
-	topK int     // current prefix length of the cached lists
-	tops [][]int // per vector: tuple ids, best first, length topK (or n)
+	vecs []geom.Vector // canonical vector list; replaced on growth, never edited
+	topK int           // depth of the committed lists
+	tops [][]int       // len == len(vecs) once built; per vector: ids, best first
+}
+
+// setVecs publishes a grown canonical vector list. Existing tops stay valid
+// for the old prefix; ensure fills in the new tail on demand.
+func (tc *topsCache) setVecs(vecs []geom.Vector) {
+	tc.mu.Lock()
+	tc.vecs = vecs
+	tc.mu.Unlock()
+}
+
+// ready reports whether the committed lists cover every canonical vector at
+// depth k.
+func (tc *topsCache) ready(k int) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.topK >= k && tc.tops != nil && len(tc.tops) == len(tc.vecs)
+}
+
+// ensure extends the cache so every canonical vector has a top list of
+// depth at least min(k, n). Depth growth is geometric (so a binary search's
+// shrinking thresholds are free) and rebuilds all lists; vector growth at an
+// unchanged depth computes only the new tail. On cancellation the cache
+// keeps its previous consistent state.
+func (tc *topsCache) ensure(ctx context.Context, k int) error {
+	n := tc.ds.N()
+	if k > n {
+		k = n
+	}
+	if tc.ready(k) {
+		return nil
+	}
+	tc.buildMu.Lock()
+	defer tc.buildMu.Unlock()
+	// The canonical list can grow while a pass runs (setVecs does not wait
+	// on builds), so loop until the committed state covers the request.
+	for !tc.ready(k) {
+		tc.mu.Lock()
+		vecs, topK, committed := tc.vecs, tc.topK, tc.tops
+		tc.mu.Unlock()
+		target := k
+		start := 0
+		if committed != nil && topK >= k {
+			// Depth is sufficient; only the newly added vectors are missing.
+			target = topK
+			start = len(committed)
+		} else if topK > 0 && target < 2*topK {
+			// Grow depth geometrically so the binary search's shrinking ks
+			// are free; a depth change invalidates every list, so rebuild
+			// from 0.
+			target = 2 * topK
+		}
+		if target > n {
+			target = n
+		}
+		tops := make([][]int, len(vecs))
+		copy(tops, committed[:start])
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		chunk := (len(vecs) - start + workers - 1) / workers
+		if chunk < 1 {
+			chunk = 1
+		}
+		for w := 0; w < workers; w++ {
+			lo := start + w*chunk
+			hi := lo + chunk
+			if hi > len(vecs) {
+				hi = len(vecs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scores := make([]float64, n)
+				for v := lo; v < hi; v++ {
+					if ctxutil.Cancelled(ctx) != nil {
+						return
+					}
+					tops[v] = topk.TopK(tc.ds, vecs[v], target, scores)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if err := ctxutil.Cancelled(ctx); err != nil {
+			return err
+		}
+		tc.mu.Lock()
+		tc.tops = tops
+		tc.topK = target
+		tc.mu.Unlock()
+	}
+	return nil
+}
+
+// snapshot ensures depth k and returns the committed lists. The returned
+// slice may cover more vectors than the calling view exposes; entries are
+// immutable, so reading them outside the lock is safe.
+func (tc *topsCache) snapshot(ctx context.Context, k int) ([][]int, error) {
+	if err := tc.ensure(ctx, k); err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.tops, nil
+}
+
+// cache returns the VecSet's top-K cache, creating a private one on first
+// use for standalone sets (views arrive with the shared cache pre-set).
+func (vs *VecSet) cache() *topsCache {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.tc == nil {
+		vs.tc = &topsCache{ds: vs.ds, vecs: vs.Vecs}
+	}
+	return vs.tc
 }
 
 // BuildVecSet constructs D for the given space: the polar grid Db
@@ -45,18 +187,19 @@ func BuildVecSet(ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *
 	return BuildVecSetCtx(nil, ds, space, gamma, m, rng)
 }
 
-// BuildVecSetCtx is BuildVecSet with cooperative cancellation: the sampling
-// loop checks ctx periodically and aborts with ctx.Err().
-func BuildVecSetCtx(ctx context.Context, ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand) (*VecSet, error) {
+// buildGrid validates the build parameters and returns the polar-grid
+// directions Db filtered to the space. It does not consume rng, so the
+// sample stream that follows is identical no matter when the grid is built.
+func buildGrid(ds *dataset.Dataset, space funcspace.Space, gamma int) ([]geom.Vector, funcspace.Space, error) {
 	d := ds.Dim()
 	if space == nil {
 		space = funcspace.NewFull(d)
 	}
 	if space.Dim() != d {
-		return nil, fmt.Errorf("algohd: space dim %d, dataset dim %d", space.Dim(), d)
+		return nil, nil, fmt.Errorf("algohd: space dim %d, dataset dim %d", space.Dim(), d)
 	}
 	if gamma < 1 {
-		return nil, fmt.Errorf("algohd: gamma %d, need >= 1", gamma)
+		return nil, nil, fmt.Errorf("algohd: gamma %d, need >= 1", gamma)
 	}
 	var vecs []geom.Vector
 	for _, u := range geom.AngleGrid(d, gamma) {
@@ -64,18 +207,57 @@ func BuildVecSetCtx(ctx context.Context, ds *dataset.Dataset, space funcspace.Sp
 			vecs = append(vecs, u)
 		}
 	}
-	gridCount := len(vecs)
-	for i := 0; i < m; i++ {
+	return vecs, space, nil
+}
+
+// drawSamples appends count directions sampled from space to vecs: uniform
+// on the space when sample is nil, otherwise rejection-sampled from the
+// custom distribution so the restricted-space contract of Section V.C holds.
+// The draws consume rng one direction at a time, which is what makes a
+// prefix of a longer stream identical to a shorter one.
+func drawSamples(ctx context.Context, space funcspace.Space, count int, rng *xrand.Rand, sample Sampler, vecs []geom.Vector) ([]geom.Vector, error) {
+	const maxRejects = 4096
+	d := space.Dim()
+	for i := 0; i < count; i++ {
 		if i%256 == 0 {
 			if err := ctxutil.Cancelled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		u := space.Sample(rng)
-		if u == nil {
-			return nil, fmt.Errorf("algohd: sampling from %s failed", space.Name())
+		if sample == nil {
+			u := space.Sample(rng)
+			if u == nil {
+				return nil, fmt.Errorf("algohd: sampling from %s failed", space.Name())
+			}
+			vecs = append(vecs, u)
+			continue
 		}
-		vecs = append(vecs, u)
+		var u geom.Vector
+		for tries := 0; ; tries++ {
+			u = sample(rng)
+			if u != nil && len(u) == d && space.ContainsDirection(u) {
+				break
+			}
+			if tries >= maxRejects {
+				return nil, fmt.Errorf("algohd: sampler produced no direction inside %s after %d tries", space.Name(), maxRejects)
+			}
+		}
+		vecs = append(vecs, geom.Clone(u))
+	}
+	return vecs, nil
+}
+
+// BuildVecSetCtx is BuildVecSet with cooperative cancellation: the sampling
+// loop checks ctx periodically and aborts with ctx.Err().
+func BuildVecSetCtx(ctx context.Context, ds *dataset.Dataset, space funcspace.Space, gamma, m int, rng *xrand.Rand) (*VecSet, error) {
+	vecs, space, err := buildGrid(ds, space, gamma)
+	if err != nil {
+		return nil, err
+	}
+	gridCount := len(vecs)
+	vecs, err = drawSamples(ctx, space, m, rng, nil, vecs)
+	if err != nil {
+		return nil, err
 	}
 	if len(vecs) == 0 {
 		return nil, fmt.Errorf("algohd: empty vector set (space %s admits no directions)", space.Name())
@@ -119,62 +301,33 @@ func ln(x float64) float64 {
 
 // EnsureTopK extends the cached per-vector top lists to at least k entries
 // (clamped to n). Lists are built in parallel across vectors. Amortized over
-// a binary search the total work is O(|D| · n · d + |D| · k log k).
-func (vs *VecSet) EnsureTopK(k int) { _ = vs.EnsureTopKCtx(nil, k) }
+// a binary search the total work is O(|D| · n · d + |D| · k log k). A nil
+// context cannot be cancelled and cancellation is the only error the build
+// can produce, so a failure here is a programming error and panics instead
+// of being silently dropped.
+func (vs *VecSet) EnsureTopK(k int) {
+	if err := vs.EnsureTopKCtx(nil, k); err != nil {
+		panic(fmt.Sprintf("algohd: EnsureTopK failed without a cancellable context: %v", err))
+	}
+}
 
 // EnsureTopKCtx is EnsureTopK with cooperative cancellation: each worker
 // checks ctx between vectors and the partially-built lists are discarded on
 // cancellation, leaving the cache in its previous consistent state.
 func (vs *VecSet) EnsureTopKCtx(ctx context.Context, k int) error {
-	n := vs.ds.N()
-	if k > n {
-		k = n
+	return vs.cache().ensure(ctx, k)
+}
+
+// TopsCtx ensures depth min(k, n) and returns the per-vector top lists for
+// this set's vectors: TopsCtx(ctx, k)[v][:k'] for any k' <= k are the ids of
+// the k' best tuples under Vecs[v], best first. The returned slice may cover
+// more vectors than Len() when the top-K cache is shared; callers must index
+// only [0, Len()). Reading the result needs no further synchronization.
+func (vs *VecSet) TopsCtx(ctx context.Context, k int) ([][]int, error) {
+	if k > vs.ds.N() {
+		k = vs.ds.N()
 	}
-	vs.mu.Lock()
-	defer vs.mu.Unlock()
-	if vs.topK >= k && vs.tops != nil {
-		return nil
-	}
-	// Grow geometrically so the binary search's shrinking ks are free.
-	target := k
-	if vs.topK > 0 && target < 2*vs.topK {
-		target = 2 * vs.topK
-	}
-	if target > n {
-		target = n
-	}
-	tops := make([][]int, len(vs.Vecs))
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (len(vs.Vecs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(vs.Vecs) {
-			hi = len(vs.Vecs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			scores := make([]float64, n)
-			for v := lo; v < hi; v++ {
-				if ctxutil.Cancelled(ctx) != nil {
-					return
-				}
-				tops[v] = topk.TopK(vs.ds, vs.Vecs[v], target, scores)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if err := ctxutil.Cancelled(ctx); err != nil {
-		return err
-	}
-	vs.tops = tops
-	vs.topK = target
-	return nil
+	return vs.cache().snapshot(ctx, k)
 }
 
 // Top returns the top-k tuple ids for vector v (best first). It extends the
@@ -183,10 +336,11 @@ func (vs *VecSet) Top(v, k int) []int {
 	if k > vs.ds.N() {
 		k = vs.ds.N()
 	}
-	if vs.topK < k || vs.tops == nil {
-		vs.EnsureTopK(k)
+	tops, err := vs.cache().snapshot(nil, k)
+	if err != nil {
+		panic(fmt.Sprintf("algohd: Top failed without a cancellable context: %v", err))
 	}
-	return vs.tops[v][:k]
+	return tops[v][:k]
 }
 
 // Len returns the number of vectors in D.

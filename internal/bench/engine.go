@@ -14,13 +14,20 @@ import (
 // EngineBenchCase is one measured (dataset, algorithm) point of the engine
 // benchmark.
 type EngineBenchCase struct {
-	Dataset         string  `json:"dataset"`
-	N               int     `json:"n"`
-	D               int     `json:"d"`
-	R               int     `json:"r"`
-	Algorithm       string  `json:"algorithm"`
-	ColdMS          float64 `json:"cold_ms"`            // first solve (cache miss)
-	WarmMS          float64 `json:"warm_ms"`            // one cached re-solve
+	Dataset   string  `json:"dataset"`
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	R         int     `json:"r"`
+	Algorithm string  `json:"algorithm"`
+	ColdMS    float64 `json:"cold_ms"` // first solve (cache miss)
+	WarmMS    float64 `json:"warm_ms"` // one cached re-solve
+	// VecSetReuseMS is a solve at RReuse != R on the same dataset: a
+	// solution-cache miss that reuses the VecSet tier, i.e. the marginal
+	// cost of one more point of a parameter sweep. Meaningful for the
+	// HDRRM-family algorithms only; the 2D DP has no VecSet and pays the
+	// full solve again.
+	VecSetReuseMS   float64 `json:"vecset_reuse_ms"`
+	RReuse          int     `json:"r_reuse"`
 	CacheHitsPerSec float64 `json:"cache_hits_per_sec"` // single-goroutine cached re-solve throughput
 	ConcHitsPerSec  float64 `json:"conc_hits_per_sec"`  // cached re-solve throughput across GOMAXPROCS goroutines
 	Size            int     `json:"size"`
@@ -30,16 +37,18 @@ type EngineBenchCase struct {
 // EngineBenchResult is the machine-readable output of EngineBench, written
 // to BENCH_engine.json to seed the performance trajectory across PRs.
 type EngineBenchResult struct {
-	Schema     string            `json:"schema"`
-	Scale      string            `json:"scale"`
-	Seed       int64             `json:"seed"`
-	GoMaxProcs int               `json:"gomaxprocs"`
-	Cases      []EngineBenchCase `json:"cases"`
-	Cache      engine.CacheStats `json:"cache"`
+	Schema     string             `json:"schema"`
+	Scale      string             `json:"scale"`
+	Seed       int64              `json:"seed"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Cases      []EngineBenchCase  `json:"cases"`
+	Cache      engine.CacheStats  `json:"cache"`
+	VecSets    engine.VecSetStats `json:"vecsets"`
 }
 
-// EngineBenchSchema identifies the BENCH_engine.json format version.
-const EngineBenchSchema = "rankregret/bench-engine/v1"
+// EngineBenchSchema identifies the BENCH_engine.json format version: v2
+// added vecset_reuse_ms / r_reuse per case and the vecsets counters.
+const EngineBenchSchema = "rankregret/bench-engine/v2"
 
 const hitIters = 200
 
@@ -79,6 +88,15 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 			return out, fmt.Errorf("bench: engine solve %s/%s: %w", p.name, p.algo, err)
 		}
 		cold := time.Since(start)
+
+		// A different budget on the same dataset: misses the solution cache
+		// but reuses the shared VecSet, which is the sweep fast path.
+		rReuse := p.r + 2
+		start = time.Now()
+		if _, err := e.Solve(ctx, p.ds, rReuse, p.algo, opts); err != nil {
+			return out, fmt.Errorf("bench: engine reuse solve %s/%s: %w", p.name, p.algo, err)
+		}
+		reuse := time.Since(start)
 
 		start = time.Now()
 		if _, err := e.Solve(ctx, p.ds, p.r, p.algo, opts); err != nil {
@@ -123,6 +141,8 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 			Algorithm:       p.algo,
 			ColdMS:          float64(cold.Microseconds()) / 1000,
 			WarmMS:          float64(warm.Microseconds()) / 1000,
+			VecSetReuseMS:   float64(reuse.Microseconds()) / 1000,
+			RReuse:          rReuse,
 			CacheHitsPerSec: hitsPerSec,
 			ConcHitsPerSec:  concPerSec,
 			Size:            len(sol.IDs),
@@ -130,5 +150,6 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 		})
 	}
 	out.Cache = e.CacheStats()
+	out.VecSets = e.VecSetStats()
 	return out, nil
 }

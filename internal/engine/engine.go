@@ -54,6 +54,17 @@ type Options struct {
 	// non-nil Sampler disables caching: function values have no stable
 	// identity to key on.
 	Sampler algohd.Sampler
+	// VecSets is the first-tier cache HDRRM-family solvers draw their
+	// shared vector sets from. The engine fills it in with its own tier
+	// when unset; it is not part of any cache key. Leave nil to have each
+	// solve build a private vector set.
+	VecSets *VecSetCache
+	// NoVecSetCache opts this solve out of the VecSet tier entirely: the
+	// solver builds a private vector set that is garbage-collected with the
+	// solve. Results are identical either way; set this for huge datasets
+	// touched once, where retaining the tier's top-K lists would cost more
+	// memory than the sweep reuse is worth.
+	NoVecSetCache bool
 }
 
 // hd converts Options to the algohd option struct, applying the paper
@@ -134,9 +145,14 @@ type DualSolver interface {
 }
 
 // Engine dispatches solves through the registry and answers repeated
-// requests from its LRU cache. The zero value is not usable; call New.
+// requests from its two-tier cache: an LRU of full solutions keyed by every
+// solve parameter, over an LRU of shared vector sets (VecSetCache) keyed
+// only by what the expensive precomputation depends on, so solves that
+// differ in r, k, or algorithm still share it. The zero value is not
+// usable; call New.
 type Engine struct {
-	cache *Cache
+	cache   *Cache
+	vecsets *VecSetCache
 
 	// flight coalesces concurrent identical cold requests so a dogpile of
 	// cache misses computes the solve once.
@@ -155,7 +171,8 @@ type flightCall struct {
 const DefaultCacheSize = 256
 
 // New returns an Engine with an LRU solution cache of the given capacity
-// (0 = DefaultCacheSize, negative = caching disabled).
+// (0 = DefaultCacheSize, negative = caching disabled) and a VecSet tier of
+// DefaultVecSetCacheSize (disabled together with the solution cache).
 func New(cacheSize int) *Engine {
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
@@ -163,6 +180,7 @@ func New(cacheSize int) *Engine {
 	e := &Engine{flight: make(map[string]*flightCall)}
 	if cacheSize > 0 {
 		e.cache = NewCache(cacheSize)
+		e.vecsets = NewVecSetCache(DefaultVecSetCacheSize)
 	}
 	return e
 }
@@ -177,6 +195,38 @@ func (e *Engine) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cache.Stats()
+}
+
+// VecSetStats reports the counters of the engine's VecSet tier (zero value
+// when caching is disabled).
+func (e *Engine) VecSetStats() VecSetStats {
+	if e.vecsets == nil {
+		return VecSetStats{}
+	}
+	return e.vecsets.Stats()
+}
+
+// Metrics is the aggregate cache health of an engine, the machine-readable
+// shape behind rrmd's GET /v1/metrics.
+type Metrics struct {
+	Solutions CacheStats  `json:"solutions"`
+	VecSets   VecSetStats `json:"vecsets"`
+}
+
+// Metrics snapshots both cache tiers.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{Solutions: e.CacheStats(), VecSets: e.VecSetStats()}
+}
+
+// withVecSets fills in the engine's VecSet tier when the caller did not
+// bring their own and has not opted out.
+func (e *Engine) withVecSets(opts Options) Options {
+	if opts.NoVecSetCache {
+		opts.VecSets = nil
+	} else if opts.VecSets == nil {
+		opts.VecSets = e.vecsets
+	}
+	return opts
 }
 
 func validate(ds *dataset.Dataset, rk int, what string) error {
@@ -209,6 +259,7 @@ func (e *Engine) SolveWith(ctx context.Context, ds *dataset.Dataset, r int, s So
 	if err := validate(ds, r, "output size r"); err != nil {
 		return nil, err
 	}
+	opts = e.withVecSets(opts)
 	return e.cached(ctx, ds, "rrm", r, s.Name(), opts, func() (*Solution, error) {
 		return s.Solve(ctx, ds, r, opts)
 	})
@@ -233,6 +284,7 @@ func (e *Engine) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, algo 
 	if !ok {
 		return nil, fmt.Errorf("engine: algorithm %q cannot solve the dual RRR problem", s.Name())
 	}
+	opts = e.withVecSets(opts)
 	return e.cached(ctx, ds, "rrr", k, s.Name(), opts, func() (*Solution, error) {
 		return dual.SolveRRR(ctx, ds, k, opts)
 	})

@@ -1,0 +1,514 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+)
+
+// Scheduler errors.
+var (
+	// ErrQueueFull is returned by Submit when the FIFO queue is at capacity.
+	ErrQueueFull = errors.New("engine: job queue full")
+	// ErrSchedulerClosed is returned for submissions after Close, and set as
+	// the failure of jobs still queued when the scheduler shut down.
+	ErrSchedulerClosed = errors.New("engine: scheduler closed")
+)
+
+// Mode selects which problem a Request solves.
+type Mode string
+
+const (
+	// ModeRRM is the primal problem: at most RK tuples, minimum rank-regret.
+	ModeRRM Mode = "rrm"
+	// ModeRRR is the dual problem: minimum tuples, rank-regret at most RK.
+	ModeRRR Mode = "rrr"
+)
+
+// Request is one unit of schedulable work: a single engine solve. Requests
+// over the same dataset share both cache tiers, which is what makes
+// batching them through the scheduler cheap.
+type Request struct {
+	// Dataset is the dataset to solve over.
+	Dataset *dataset.Dataset
+	// Label is echoed in job statuses; daemons set it to the dataset's
+	// registry name.
+	Label string
+	// Mode selects primal (RRM) or dual (RRR); empty means ModeRRM.
+	Mode Mode
+	// RK is the output budget r (ModeRRM) or the threshold k (ModeRRR).
+	RK int
+	// Algorithm names a registered solver ("" = auto by dimensionality).
+	Algorithm string
+	// Opts carries the solve parameters.
+	Opts Options
+	// Timeout bounds the solve once it starts running (0 = none). Queue
+	// wait time does not count against it.
+	Timeout time.Duration
+}
+
+// Run executes the request synchronously on eng, dispatching by Mode. The
+// scheduler's workers and direct callers (e.g. rrmd's /v1/solve handler)
+// share this one conversion point so the two paths cannot drift.
+func (r Request) Run(ctx context.Context, eng *Engine) (*Solution, error) {
+	if r.Mode == ModeRRR {
+		return eng.SolveRRR(ctx, r.Dataset, r.RK, r.Algorithm, r.Opts)
+	}
+	return eng.Solve(ctx, r.Dataset, r.RK, r.Algorithm, r.Opts)
+}
+
+// JobState is the lifecycle position of a scheduled job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed" // includes cancellations and timeouts
+)
+
+// JobStatus is an immutable snapshot of one job.
+type JobStatus struct {
+	ID         string    `json:"id"`
+	State      JobState  `json:"state"`
+	Label      string    `json:"label,omitempty"`
+	Mode       Mode      `json:"mode"`
+	RK         int       `json:"rk"`
+	Algorithm  string    `json:"algorithm,omitempty"`
+	Solution   *Solution `json:"solution,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// ElapsedMS is the run time (started to finished) of a finished job.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+type job struct {
+	id     string
+	req    Request
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed exactly once, when the job finishes
+
+	mu       sync.Mutex
+	state    JobState
+	sol      *Solution
+	err      error
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Label:      j.req.Label,
+		Mode:       j.req.Mode,
+		RK:         j.req.RK,
+		Algorithm:  j.req.Algorithm,
+		Solution:   j.sol,
+		EnqueuedAt: j.enqueued,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	if st.Mode == "" {
+		st.Mode = ModeRRM
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		st.ElapsedMS = float64(j.finished.Sub(j.started).Microseconds()) / 1000
+	}
+	return st
+}
+
+// finish transitions to done/failed and wakes waiters. It is a no-op if the
+// job already finished.
+func (j *job) finish(sol *Solution, err error) bool {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed {
+		j.mu.Unlock()
+		return false
+	}
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err
+	} else {
+		j.state = JobDone
+		j.sol = sol
+	}
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// SchedulerStats is a snapshot of the scheduler counters for GET
+// /v1/metrics: queue pressure plus lifetime totals.
+type SchedulerStats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Running    int64  `json:"running"`
+	Submitted  uint64 `json:"submitted"`
+	Done       uint64 `json:"done"`
+	Failed     uint64 `json:"failed"`
+	Retained   int    `json:"retained_jobs"`
+}
+
+// maxRetainedJobs bounds the finished-job history kept for GET
+// /v1/jobs/{id}; the oldest finished jobs are forgotten first.
+const maxRetainedJobs = 2048
+
+// Scheduler runs engine solves on a bounded worker pool fed by a FIFO
+// queue, with per-job cancellation and queryable job states — the
+// throughput layer that turns one engine into a multi-request server. All
+// methods are safe for concurrent use.
+type Scheduler struct {
+	eng     *Engine
+	queue   chan *job
+	workers int
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // retention FIFO of finished job ids
+	seq      uint64
+	closed   bool
+
+	running   atomic.Int64
+	submitted atomic.Uint64
+	nDone     atomic.Uint64
+	nFailed   atomic.Uint64
+}
+
+// NewScheduler starts a scheduler over eng with the given worker count
+// (0 = GOMAXPROCS) and queue capacity (0 = 256). Call Close to stop it.
+func NewScheduler(eng *Engine, workers, queueCap int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		eng:     eng,
+		queue:   make(chan *job, queueCap),
+		workers: workers,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Scheduler) runJob(j *job) {
+	j.mu.Lock()
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled while still queued. A worker may drain the queue during
+		// shutdown before exiting; report those jobs as closed, not merely
+		// cancelled, so the two paths a queued job can take through Close
+		// are indistinguishable to callers.
+		if s.baseCtx.Err() != nil {
+			err = ErrSchedulerClosed
+		}
+		j.mu.Unlock()
+		s.finishJob(j, nil, err)
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	ctx := j.ctx
+	if j.req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.req.Timeout)
+		defer cancel()
+	}
+	sol, err := j.req.Run(ctx, s.eng)
+	s.finishJob(j, sol, err)
+}
+
+// finishJob finalizes a job, updates the counters, and trims the retained
+// history.
+func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
+	if !j.finish(sol, err) {
+		return
+	}
+	if err != nil {
+		s.nFailed.Add(1)
+	} else {
+		s.nDone.Add(1)
+	}
+	s.mu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > maxRetainedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// newJob registers a queued job. The job's context is parented to the
+// scheduler, not the submitter: async jobs outlive the HTTP request that
+// created them.
+func (s *Scheduler) newJob(req Request) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSchedulerClosed
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.seq),
+		req:      req,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    JobQueued,
+		enqueued: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.submitted.Add(1)
+	return j, nil
+}
+
+// unregister backs out a job that never made it into the queue.
+func (s *Scheduler) unregister(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+	s.submitted.Add(^uint64(0)) // -1
+}
+
+// Submit enqueues an asynchronous solve and returns its queued status
+// immediately. It fails fast with ErrQueueFull instead of blocking.
+func (s *Scheduler) Submit(req Request) (JobStatus, error) {
+	j, err := s.newJob(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	select {
+	case s.queue <- j:
+		s.reapIfClosed(j)
+		return j.status(), nil
+	default:
+		s.unregister(j)
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// reapIfClosed fails a just-enqueued job when the scheduler shut down
+// concurrently with the send: the workers (and Close's drain) may already
+// be gone, so nothing else would ever transition it out of 'queued'.
+// finishJob is idempotent, so racing with a worker or the drain is safe.
+func (s *Scheduler) reapIfClosed(j *job) {
+	if s.baseCtx.Err() != nil {
+		s.finishJob(j, nil, ErrSchedulerClosed)
+	}
+}
+
+// submitWait enqueues like Submit but blocks for queue space until ctx is
+// done; Batch uses it so a large batch streams through a small queue.
+func (s *Scheduler) submitWait(ctx context.Context, req Request) (*job, error) {
+	j, err := s.newJob(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case s.queue <- j:
+		s.reapIfClosed(j)
+		return j, nil
+	case <-ctx.Done():
+		s.unregister(j)
+		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		s.unregister(j)
+		return nil, ErrSchedulerClosed
+	}
+}
+
+// Get returns the status of a known job.
+func (s *Scheduler) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Cancel requests cancellation of a queued or running job and returns its
+// resulting status. Queued jobs fail immediately (their queue slot is
+// reclaimed when a worker pops the carcass); running jobs abort from
+// inside the solver hot loops.
+func (s *Scheduler) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.cancel()
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		// Finish now instead of when a worker drains it, so the status is
+		// immediately observable. finish is idempotent, so the worker that
+		// eventually pops the job is a no-op, and the rare race with a
+		// worker that just started it only fails a solve whose context is
+		// already cancelled.
+		s.finishJob(j, nil, context.Canceled)
+	}
+	return j.status(), true
+}
+
+// Wait blocks until the job finishes or ctx is done and returns its final
+// (or, on ctx expiry, current) status.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("engine: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return j.status(), ctx.Err()
+	}
+}
+
+// Jobs returns the status of every retained job, oldest first.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	// Ids are zero-padded sequence numbers; comparing length first keeps
+	// submission order even after the sequence outgrows the padding.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Batch fans a list of requests through the worker pool and waits for all
+// of them, returning one final status per request in order. Individual
+// solver failures are reported in their item's status, not as a call error;
+// the error return fires only when ctx expires or the scheduler closes, in
+// which case every outstanding job of the batch is cancelled.
+func (s *Scheduler) Batch(ctx context.Context, reqs []Request) ([]JobStatus, error) {
+	jobs := make([]*job, 0, len(reqs))
+	cancelRest := func() {
+		for _, j := range jobs {
+			j.cancel()
+		}
+	}
+	for _, req := range reqs {
+		j, err := s.submitWait(ctx, req)
+		if err != nil {
+			cancelRest()
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			cancelRest()
+			return nil, ctx.Err()
+		}
+		out[i] = j.status()
+	}
+	return out, nil
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	retained := len(s.jobs)
+	s.mu.Unlock()
+	return SchedulerStats{
+		Workers:    s.workers,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Running:    s.running.Load(),
+		Submitted:  s.submitted.Load(),
+		Done:       s.nDone.Load(),
+		Failed:     s.nFailed.Load(),
+		Retained:   retained,
+	}
+}
+
+// Close stops the workers, cancels running jobs, and fails everything still
+// queued with ErrSchedulerClosed. It blocks until the workers exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishJob(j, nil, ErrSchedulerClosed)
+		default:
+			return
+		}
+	}
+}

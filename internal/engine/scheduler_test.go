@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/ctxutil"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// blockingSolver parks until released (or its context dies), giving the
+// scheduler tests deterministic control over worker occupancy.
+type blockingSolver struct {
+	started chan string   // receives the blocked solve's marker
+	release chan struct{} // close to let every blocked solve finish
+}
+
+func (blockingSolver) Name() string { return "test-block" }
+
+func (b blockingSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	select {
+	case b.started <- "":
+	default:
+	}
+	select {
+	case <-b.release:
+		return &Solution{IDs: []int{0}, Algorithm: "test-block"}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func newBlockingScheduler(t *testing.T, workers, queueCap int) (*Scheduler, blockingSolver) {
+	t.Helper()
+	// The engine cache is disabled so every blocking solve really blocks
+	// instead of being answered from the cache or coalesced in flight.
+	e := New(-1)
+	s := NewScheduler(e, workers, queueCap)
+	t.Cleanup(s.Close)
+	b := blockingSolver{started: make(chan string, 64), release: make(chan struct{})}
+	return s, b
+}
+
+func blockReq(ds *dataset.Dataset, b blockingSolver, r int) Request {
+	// SolveWith is not reachable through Request (it dispatches by name),
+	// so the blocking solver registers once under its own name.
+	return Request{Dataset: ds, Mode: ModeRRM, RK: r, Algorithm: "test-block"}
+}
+
+func init() {
+	// A single registry-wide instance shared by every test in the package;
+	// individual tests swap its channels via the atomic pointer.
+	Register(testBlock)
+}
+
+var testBlock = &sharedBlockingSolver{}
+
+// sharedBlockingSolver adapts blockingSolver to the one-registration-only
+// registry: tests point it at their own channels.
+type sharedBlockingSolver struct {
+	cur atomic.Pointer[blockingSolver]
+}
+
+func (s *sharedBlockingSolver) Name() string { return "test-block" }
+
+func (s *sharedBlockingSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
+	b := s.cur.Load()
+	if b == nil {
+		if err := ctxutil.Cancelled(ctx); err != nil {
+			return nil, err
+		}
+		return &Solution{IDs: []int{0}, Algorithm: "test-block"}, nil
+	}
+	return b.Solve(ctx, ds, r, opts)
+}
+
+// TestSchedulerBatchMatchesSequential is the engine-level golden
+// equivalence: a batch over mixed primal/dual requests returns exactly the
+// solutions of the corresponding sequential engine calls.
+func TestSchedulerBatchMatchesSequential(t *testing.T) {
+	e := New(0)
+	s := NewScheduler(e, 4, 16)
+	defer s.Close()
+	island := dataset.SimIsland(xrand.New(7), 300)
+	nba := dataset.SimNBA(xrand.New(7), 400)
+	opts := Options{Seed: 1, MaxSamples: 1000}
+
+	reqs := []Request{
+		{Dataset: island, Mode: ModeRRM, RK: 5, Opts: opts},
+		{Dataset: nba, Mode: ModeRRM, RK: 7, Algorithm: "hdrrm", Opts: opts},
+		{Dataset: nba, Mode: ModeRRM, RK: 9, Algorithm: "hdrrm", Opts: opts},
+		{Dataset: island, Mode: ModeRRR, RK: 3, Opts: opts},
+		{Dataset: nba, Mode: ModeRRR, RK: 30, Algorithm: "hdrrm", Opts: opts},
+	}
+	// Sequential golden results on a fresh engine so neither path sees the
+	// other's cache.
+	seq := New(0)
+	want := make([]*Solution, len(reqs))
+	for i, r := range reqs {
+		var err error
+		want[i], err = r.Run(context.Background(), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	statuses, err := s.Batch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range statuses {
+		if st.State != JobDone {
+			t.Fatalf("job %d state %s: %s", i, st.State, st.Error)
+		}
+		if !reflect.DeepEqual(st.Solution, want[i]) {
+			t.Errorf("job %d solution %+v, want %+v", i, st.Solution, want[i])
+		}
+	}
+}
+
+// TestJobLifecycle walks one async job queued -> running -> done and checks
+// the status snapshots along the way.
+func TestJobLifecycle(t *testing.T) {
+	s, b := newBlockingScheduler(t, 1, 8)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.Independent(xrand.New(1), 50, 3)
+
+	st, err := s.Submit(blockReq(ds, b, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued {
+		t.Errorf("submitted state = %s, want queued", st.State)
+	}
+	<-b.started // the worker picked it up
+	if got, _ := s.Get(st.ID); got.State != JobRunning {
+		t.Errorf("state after start = %s, want running", got.State)
+	}
+	close(b.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	final, err := s.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || final.Solution == nil || final.Error != "" {
+		t.Errorf("final status = %+v, want done with a solution", final)
+	}
+	if final.StartedAt.IsZero() || final.FinishedAt.IsZero() {
+		t.Errorf("finished job missing timestamps: %+v", final)
+	}
+	stats := s.Stats()
+	if stats.Submitted != 1 || stats.Done != 1 || stats.Failed != 0 {
+		t.Errorf("stats = %+v, want 1 submitted / 1 done", stats)
+	}
+}
+
+// TestJobCancelQueuedAndRunning cancels one running and one still-queued
+// job; both must fail with a cancellation error.
+func TestJobCancelQueuedAndRunning(t *testing.T) {
+	s, b := newBlockingScheduler(t, 1, 8)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.Independent(xrand.New(1), 50, 3)
+
+	running, err := s.Submit(blockReq(ds, b, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	queued, err := s.Submit(blockReq(ds, b, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{queued.ID, running.ID} {
+		if _, ok := s.Cancel(id); !ok {
+			t.Fatalf("Cancel(%s) found no job", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range []string{running.ID, queued.ID} {
+		st, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobFailed || !strings.Contains(st.Error, "cancel") {
+			t.Errorf("cancelled job %s = %+v, want failed with a cancellation error", id, st)
+		}
+	}
+	if stats := s.Stats(); stats.Failed != 2 {
+		t.Errorf("stats = %+v, want 2 failed", stats)
+	}
+}
+
+// TestSubmitQueueFull checks the fail-fast path: with the single worker
+// parked and the queue full, Submit refuses instead of blocking.
+func TestSubmitQueueFull(t *testing.T) {
+	s, b := newBlockingScheduler(t, 1, 1)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.Independent(xrand.New(1), 50, 3)
+
+	if _, err := s.Submit(blockReq(ds, b, 3)); err != nil { // runs
+		t.Fatal(err)
+	}
+	<-b.started
+	if _, err := s.Submit(blockReq(ds, b, 4)); err != nil { // queues
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(blockReq(ds, b, 5)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(b.release)
+}
+
+// TestSchedulerClose checks shutdown: running jobs are cancelled, queued
+// jobs fail with ErrSchedulerClosed, and later submissions are refused.
+func TestSchedulerClose(t *testing.T) {
+	e := New(-1)
+	s := NewScheduler(e, 1, 4)
+	b := blockingSolver{started: make(chan string, 4), release: make(chan struct{})}
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.Independent(xrand.New(1), 50, 3)
+
+	running, err := s.Submit(blockReq(ds, b, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	queued, err := s.Submit(blockReq(ds, b, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if st, _ := s.Get(running.ID); st.State != JobFailed {
+		t.Errorf("running job after Close = %+v, want failed", st)
+	}
+	if st, _ := s.Get(queued.ID); st.State != JobFailed || !strings.Contains(st.Error, "scheduler closed") {
+		t.Errorf("queued job after Close = %+v, want failed with ErrSchedulerClosed", st)
+	}
+	if _, err := s.Submit(blockReq(ds, b, 5)); !errors.Is(err, ErrSchedulerClosed) {
+		t.Errorf("submit after Close err = %v, want ErrSchedulerClosed", err)
+	}
+}
+
+// TestBatchContextCancel checks that an expiring batch context aborts the
+// call and cancels its outstanding jobs.
+func TestBatchContextCancel(t *testing.T) {
+	s, b := newBlockingScheduler(t, 1, 8)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.Independent(xrand.New(1), 50, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Batch(ctx, []Request{blockReq(ds, b, 3), blockReq(ds, b, 4)})
+		done <- err
+	}()
+	<-b.started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch did not return after ctx cancellation")
+	}
+}

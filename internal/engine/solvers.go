@@ -82,14 +82,37 @@ func (twoDRRMSolver) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, o
 	return &Solution{IDs: res.IDs, RankRegret: res.RankRegret, Exact: true, Algorithm: AlgoTwoDRRM}, nil
 }
 
+// sharedVecSet acquires the solve's vector set from the VecSet cache tier
+// when one is wired in and the solve has a cacheable identity. A nil return
+// with nil error means "build privately" — the standalone algohd entry
+// points then behave exactly as before the tier existed.
+func sharedVecSet(ctx context.Context, ds *dataset.Dataset, opts Options, m int) (*algohd.VecSet, error) {
+	if opts.VecSets == nil || opts.Sampler != nil {
+		return nil, nil
+	}
+	return opts.VecSets.Acquire(ctx, ds, opts, m)
+}
+
 // hdrrmSolver is the paper's HDRRM (Algorithm 3) and, as a DualSolver, a
-// single ASMS pass at threshold k (Theorem 9).
+// single ASMS pass at threshold k (Theorem 9). Both modes draw their vector
+// set from the engine's VecSet cache tier when available, so solves that
+// differ only in r or k share the expensive discretization.
 type hdrrmSolver struct{}
 
 func (hdrrmSolver) Name() string { return AlgoHDRRM }
 
 func (hdrrmSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
-	res, err := algohd.HDRRMCtx(ctx, ds, r, opts.hd())
+	ho := opts.hd()
+	vs, err := sharedVecSet(ctx, ds, opts, ho.SampleSize(ds.N(), ds.Dim(), r))
+	if err != nil {
+		return nil, err
+	}
+	var res algohd.Result
+	if vs != nil {
+		res, err = algohd.HDRRMWithVecSetCtx(ctx, ds, r, ho, vs)
+	} else {
+		res, err = algohd.HDRRMCtx(ctx, ds, r, ho)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +120,17 @@ func (hdrrmSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts O
 }
 
 func (hdrrmSolver) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, opts Options) (*Solution, error) {
-	res, err := algohd.HDRRRCtx(ctx, ds, k, opts.hd())
+	ho := opts.hd()
+	vs, err := sharedVecSet(ctx, ds, opts, ho.SampleSizeRRR(ds.N(), ds.Dim(), k))
+	if err != nil {
+		return nil, err
+	}
+	var res algohd.Result
+	if vs != nil {
+		res, err = algohd.HDRRRWithVecSetCtx(ctx, ds, k, ho, vs)
+	} else {
+		res, err = algohd.HDRRRCtx(ctx, ds, k, ho)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +148,28 @@ type variantSolver struct{ v algohd.Variant }
 func (s variantSolver) Name() string { return "hdrrm:" + s.v.Name() }
 
 func (s variantSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts Options) (*Solution, error) {
-	res, err := algohd.HDRRMVariantCtx(ctx, ds, r, opts.hd(), s.v)
+	ho := opts.hd()
+	var vs *algohd.VecSet
+	var err error
+	if !s.v.NoGrid {
+		// Grid-keeping variants share the full algorithm's vector set: the
+		// NoSamples ablation is simply the m = 0 prefix view. NoGrid strips
+		// the grid and cannot share a top-K cache, so it builds privately.
+		m := 0
+		if !s.v.NoSamples {
+			m = ho.SampleSize(ds.N(), ds.Dim(), r)
+		}
+		vs, err = sharedVecSet(ctx, ds, opts, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var res algohd.Result
+	if vs != nil {
+		res, err = algohd.HDRRMVariantWithVecSetCtx(ctx, ds, r, ho, s.v, vs)
+	} else {
+		res, err = algohd.HDRRMVariantCtx(ctx, ds, r, ho, s.v)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rankregret/rankregret/internal/algohd"
+	"github.com/rankregret/rankregret/internal/dataset"
+)
+
+// VecSetCache is the first tier of the engine's two-tier cache: shared
+// vector sets (polar grid + sample stream + per-vector top-K lists, the
+// expensive precomputation behind every HDRRM-family solve) keyed by
+// dataset fingerprint, space, gamma, and seed. The sample count m is
+// deliberately NOT part of the key: all samples come from one seeded
+// stream, so a single entry serves every m as a prefix view and a
+// parameter sweep over r or k pays the build cost once.
+//
+// Builds are coalesced per entry (SharedVecSet serializes its own build and
+// extension work), so a dogpile of identical cold solves performs exactly
+// one build. Sampler-backed solves have no cacheable identity and must not
+// be routed here — the engine wiring enforces that.
+type VecSetCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	builds     atomic.Uint64
+	extensions atomic.Uint64
+	reuses     atomic.Uint64
+}
+
+type vecsetEntry struct {
+	key    string
+	shared *algohd.SharedVecSet
+}
+
+// VecSetStats is a snapshot of the VecSet-tier counters. Reuses counts
+// solves served entirely from an existing entry; Extensions counts solves
+// that reused the grid and sample prefix but had to draw further samples.
+type VecSetStats struct {
+	Builds     uint64 `json:"builds"`
+	Extensions uint64 `json:"extensions"`
+	Reuses     uint64 `json:"reuses"`
+	Len        int    `json:"len"`
+	Cap        int    `json:"cap"`
+}
+
+// DefaultVecSetCacheSize is the VecSet-tier capacity of New(0). Entries
+// hold the top-K lists for tens of thousands of vectors, so the tier is
+// kept much smaller than the solution cache.
+const DefaultVecSetCacheSize = 16
+
+// NewVecSetCache returns a VecSet cache holding at most capacity shared
+// sets.
+func NewVecSetCache(capacity int) *VecSetCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &VecSetCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Acquire returns a vector-set view for the solve described by opts with m
+// sampled directions, creating or extending the underlying shared set as
+// needed. Evicting an entry never invalidates views already handed out.
+func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Options, m int) (*algohd.VecSet, error) {
+	ho := opts.hd()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%016x|%s|%d|%d", opts.CacheSalt, ds.Fingerprint(), opts.spaceKey(), ho.EffectiveGamma(), opts.Seed)
+	key := b.String()
+
+	c.mu.Lock()
+	var shared *algohd.SharedVecSet
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		shared = el.Value.(*vecsetEntry).shared
+	} else {
+		shared = algohd.NewSharedVecSet(ds, ho.Space, ho.EffectiveGamma(), opts.Seed, ho.Sampler)
+		c.items[key] = c.ll.PushFront(&vecsetEntry{key: key, shared: shared})
+		if c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*vecsetEntry).key)
+		}
+	}
+	// The build itself runs outside the cache lock; SharedVecSet coalesces
+	// concurrent builders on its own lock.
+	c.mu.Unlock()
+
+	vs, outcome, err := shared.Acquire(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	switch outcome {
+	case algohd.VecSetBuilt:
+		c.builds.Add(1)
+	case algohd.VecSetExtended:
+		c.extensions.Add(1)
+	default:
+		c.reuses.Add(1)
+	}
+	return vs, nil
+}
+
+// Stats snapshots the build/extension/reuse counters and occupancy.
+func (c *VecSetCache) Stats() VecSetStats {
+	c.mu.Lock()
+	length, capacity := c.ll.Len(), c.cap
+	c.mu.Unlock()
+	return VecSetStats{
+		Builds:     c.builds.Load(),
+		Extensions: c.extensions.Load(),
+		Reuses:     c.reuses.Load(),
+		Len:        length,
+		Cap:        capacity,
+	}
+}

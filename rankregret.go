@@ -156,6 +156,13 @@ type Options struct {
 	// Seed drives all randomness. 0 means seed 1, so results are
 	// reproducible by default.
 	Seed int64
+	// NoVecSetCache opts out of the engine's shared vector-set tier, which
+	// otherwise retains the expensive per-dataset discretization (sampled
+	// directions plus top-K lists, potentially hundreds of MB for very
+	// large datasets) across solves to make parameter sweeps cheap.
+	// Results are identical either way; set this when solving huge
+	// datasets once and memory matters more than sweep speed.
+	NoVecSetCache bool
 	// Sampler overrides the user-preference distribution HDRRM samples
 	// its directions from (nil = uniform on the space), the paper's
 	// Section V.C generalization. See GaussianPreference and
@@ -223,13 +230,14 @@ func (o *Options) orDefault() Options {
 // engineOptions converts the public Options to the engine's option struct.
 func (o Options) engineOptions() engine.Options {
 	return engine.Options{
-		Space:      o.Space,
-		Gamma:      o.Gamma,
-		Delta:      o.Delta,
-		Samples:    o.Samples,
-		MaxSamples: o.MaxSamples,
-		Seed:       o.Seed,
-		Sampler:    o.Sampler,
+		Space:         o.Space,
+		Gamma:         o.Gamma,
+		Delta:         o.Delta,
+		Samples:       o.Samples,
+		MaxSamples:    o.MaxSamples,
+		Seed:          o.Seed,
+		Sampler:       o.Sampler,
+		NoVecSetCache: o.NoVecSetCache,
 	}
 }
 
@@ -296,6 +304,34 @@ func SolveContext(ctx context.Context, ds *Dataset, r int, opts *Options) (*Solu
 		return nil, translateEngineErr(err)
 	}
 	return fromEngine(sol), nil
+}
+
+// SolveSweep solves the same dataset for several output budgets rs in one
+// call and returns one solution per budget, in order. Sweeps are cheap: the
+// engine's VecSet cache tier shares the expensive function-space
+// discretization (polar grid, sample stream, per-vector top-K lists) across
+// every budget, so each point after the first costs only its set-cover
+// search — orders of magnitude less than a cold solve. Each solution is
+// identical to the corresponding Solve(ds, r, opts) call.
+func SolveSweep(ds *Dataset, rs []int, opts *Options) ([]*Solution, error) {
+	return SolveSweepContext(context.Background(), ds, rs, opts)
+}
+
+// SolveSweepContext is SolveSweep with a context: cancelling ctx aborts the
+// sweep from inside the current solve's hot loops.
+func SolveSweepContext(ctx context.Context, ds *Dataset, rs []int, opts *Options) ([]*Solution, error) {
+	if len(rs) == 0 {
+		return nil, errors.New("rankregret: empty budget sweep")
+	}
+	out := make([]*Solution, len(rs))
+	for i, r := range rs {
+		sol, err := SolveContext(ctx, ds, r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("rankregret: sweep r = %d: %w", r, err)
+		}
+		out[i] = sol
+	}
+	return out, nil
 }
 
 // SolveRRR solves the dual rank-regret representative problem: the minimum

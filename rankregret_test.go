@@ -2,6 +2,7 @@ package rankregret_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -441,5 +442,45 @@ func TestSolveRRRRestricted2D(t *testing.T) {
 	}
 	if len(sol.IDs) > len(full.IDs) {
 		t.Errorf("restricted RRR uses %d tuples, full-space uses %d", len(sol.IDs), len(full.IDs))
+	}
+}
+
+// TestSolveSweep checks the sweep entry point: each returned solution is
+// identical to the corresponding single Solve call, sizes respect their
+// budgets, and the achieved rank-regret never worsens as the budget grows.
+func TestSolveSweep(t *testing.T) {
+	ds := rankregret.GenerateAnticorrelated(9, 150, 3)
+	opts := &rankregret.Options{Algorithm: rankregret.AlgoHDRRM, Samples: 300, Gamma: 3, Seed: 2}
+	rs := []int{4, 5, 6, 7, 8}
+	sols, err := rankregret.SolveSweep(ds, rs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(rs) {
+		t.Fatalf("sweep returned %d solutions for %d budgets", len(sols), len(rs))
+	}
+	prev := ds.N() + 1
+	for i, r := range rs {
+		single, err := rankregret.Solve(ds, r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sols[i], single) {
+			t.Errorf("r=%d: sweep solution %+v != single solve %+v", r, sols[i], single)
+		}
+		if len(sols[i].IDs) > r {
+			t.Errorf("r=%d: solution size %d exceeds budget", r, len(sols[i].IDs))
+		}
+		if sols[i].RankRegret > prev {
+			t.Errorf("r=%d: rank-regret %d worse than smaller budget's %d", r, sols[i].RankRegret, prev)
+		}
+		prev = sols[i].RankRegret
+	}
+
+	if _, err := rankregret.SolveSweep(ds, nil, opts); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := rankregret.SolveSweep(ds, []int{4, 0}, opts); err == nil {
+		t.Error("sweep with an invalid budget should error")
 	}
 }
