@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/rankregret/rankregret/internal/bench"
 	"github.com/rankregret/rankregret/internal/cliutil"
@@ -34,10 +36,36 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "random seed")
 		format     = flag.String("format", "table", "output format: table or csv")
 		engineJSON = flag.String("engine-json", "", "run the engine benchmark (solve latency + cache throughput) and write JSON to this path (- = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rrmbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var sc bench.Scale

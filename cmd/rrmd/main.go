@@ -50,6 +50,7 @@ func run() error {
 		cacheSize = flag.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
 		workers   = flag.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
 		queueCap  = flag.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
+		solvePar  = flag.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
 		demo      = flag.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
 		seed      = flag.Int64("seed", 1, "seed for -demo dataset generation")
 	)
@@ -67,6 +68,7 @@ func run() error {
 	srv := NewServer(*cacheSize, *timeout, *workers, *queueCap)
 	defer srv.Close()
 	srv.MaxUploadBytes = *maxUpload
+	srv.SolveParallelism = *solvePar
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {

@@ -28,6 +28,14 @@ type Server struct {
 	// MaxUploadBytes bounds the size of a POST /v1/datasets body.
 	MaxUploadBytes int64
 
+	// SolveParallelism is the default worker-goroutine bound for the
+	// HDRRM top-K scoring passes of each solve (0 = GOMAXPROCS); requests
+	// override it with the "parallelism" field, where an explicit 0 asks
+	// for GOMAXPROCS. Results are bit-identical at every setting — the
+	// knob keeps one cold solve from monopolizing every core of a busy
+	// daemon.
+	SolveParallelism int
+
 	mu       sync.RWMutex
 	datasets map[string]*dataset.Dataset
 }
@@ -195,18 +203,22 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 // (primal RRM: at most r tuples, minimum rank-regret) and K (dual RRR:
 // minimum tuples, rank-regret at most k) must be positive.
 type solveRequest struct {
-	Dataset     string  `json:"dataset"`
-	R           int     `json:"r,omitempty"`
-	K           int     `json:"k,omitempty"`
-	Algorithm   string  `json:"algorithm,omitempty"`
-	Space       string  `json:"space,omitempty"`
-	Gamma       int     `json:"gamma,omitempty"`
-	Delta       float64 `json:"delta,omitempty"`
-	Samples     int     `json:"samples,omitempty"`
-	MaxSamples  int     `json:"max_samples,omitempty"`
-	Seed        int64   `json:"seed,omitempty"`
-	EvalSamples int     `json:"eval_samples,omitempty"`
-	TimeoutMS   int64   `json:"timeout_ms,omitempty"`
+	Dataset    string  `json:"dataset"`
+	R          int     `json:"r,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Algorithm  string  `json:"algorithm,omitempty"`
+	Space      string  `json:"space,omitempty"`
+	Gamma      int     `json:"gamma,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Samples    int     `json:"samples,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	// Parallelism overrides the server's -solve-parallelism default when
+	// present; an explicit 0 (or negative) asks for GOMAXPROCS. A pointer
+	// distinguishes "absent" from that explicit 0.
+	Parallelism *int  `json:"parallelism,omitempty"`
+	EvalSamples int   `json:"eval_samples,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
 }
 
 // solveResult is the stable core of every solve answer. The same shape is
@@ -368,6 +380,12 @@ func (s *Server) engineRequest(req solveRequest) (engine.Request, int, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	par := s.SolveParallelism
+	if req.Parallelism != nil {
+		if par = *req.Parallelism; par < 0 {
+			par = 0
+		}
+	}
 	er := engine.Request{
 		Dataset:   ds,
 		Label:     req.Dataset,
@@ -376,14 +394,15 @@ func (s *Server) engineRequest(req solveRequest) (engine.Request, int, error) {
 		Algorithm: req.Algorithm,
 		Timeout:   timeout,
 		Opts: engine.Options{
-			Space:      sp,
-			SpaceKey:   req.Space,
-			CacheSalt:  req.Dataset,
-			Gamma:      req.Gamma,
-			Delta:      req.Delta,
-			Samples:    req.Samples,
-			MaxSamples: req.MaxSamples,
-			Seed:       seed,
+			Space:       sp,
+			SpaceKey:    req.Space,
+			CacheSalt:   req.Dataset,
+			Gamma:       req.Gamma,
+			Delta:       req.Delta,
+			Samples:     req.Samples,
+			MaxSamples:  req.MaxSamples,
+			Seed:        seed,
+			Parallelism: par,
 		},
 	}
 	if req.K > 0 {

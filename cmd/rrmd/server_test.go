@@ -73,6 +73,35 @@ func TestSolveMatchesLibrary(t *testing.T) {
 	}
 }
 
+// Solves at different parallelism settings must return identical answers —
+// and must share one cache entry, since parallelism is not part of the key.
+func TestSolveParallelismIdenticalAndCacheShared(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SolveParallelism = 2 // server default; the explicit fields override it
+	var answers []solveResponse
+	for ci, par := range []*int{nil, intp(0), intp(1), intp(8)} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{Dataset: "nba", R: 7, Parallelism: par})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallelism case %d: status %d: %s", ci, resp.StatusCode, body)
+		}
+		var got solveResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		answers = append(answers, got)
+	}
+	for _, got := range answers[1:] {
+		if !reflect.DeepEqual(got.IDs, answers[0].IDs) || got.RankRegret != answers[0].RankRegret {
+			t.Errorf("parallelism changed the answer: %+v vs %+v", got, answers[0])
+		}
+	}
+	if last := answers[len(answers)-1].Cache; last.Hits < 3 {
+		t.Errorf("cache hits = %d, want >= 3 (parallelism must not fragment the cache key)", last.Hits)
+	}
+}
+
+func intp(i int) *int { return &i }
+
 // TestConcurrentSolves hammers /v1/solve from 40 goroutines — beyond the
 // acceptance bar of 32 — mixing cache-identical and distinct requests, and
 // checks every response against the library answer computed directly.

@@ -107,6 +107,7 @@ func HDRRMVariantWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, r int, 
 		}
 		vs = &VecSet{ds: ds, Vecs: vs.Vecs[vs.GridCount:], GridCount: 0}
 	}
+	vs.SetParallelism(opts.Parallelism)
 	var basis []int
 	if !v.NoBasis {
 		basis = uniqueInts(ds.Basis())

@@ -3,7 +3,6 @@ package algohd
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/rankregret/rankregret/internal/ctxutil"
@@ -12,8 +11,6 @@ import (
 	"github.com/rankregret/rankregret/internal/setcover"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
-
-func logE(x float64) float64 { return math.Log(x) }
 
 // Options configures the HD solvers. The zero value is not usable; call
 // DefaultOptions.
@@ -37,6 +34,9 @@ type Options struct {
 	// user preference distributions. See GaussianPreference and
 	// MixturePreference.
 	Sampler Sampler
+	// Parallelism bounds the worker goroutines of the top-K scoring passes
+	// (0 = GOMAXPROCS). Results are bit-identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default parameters with the
@@ -244,6 +244,7 @@ func HDRRMWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, r int, opts Op
 	if r < 1 {
 		return Result{}, fmt.Errorf("algohd: output size %d, need >= 1", r)
 	}
+	vs.SetParallelism(opts.Parallelism)
 	basis := uniqueInts(ds.Basis())
 	if len(basis) > r {
 		return Result{}, fmt.Errorf("algohd: budget r=%d smaller than basis size %d (need r >= d)", r, len(basis))
@@ -338,6 +339,7 @@ func HDRRRWithVecSetCtx(ctx context.Context, ds *dataset.Dataset, k int, opts Op
 	if k < 1 || k > n {
 		return Result{}, fmt.Errorf("algohd: threshold k=%d out of range [1, %d]", k, n)
 	}
+	vs.SetParallelism(opts.Parallelism)
 	basis := uniqueInts(ds.Basis())
 	q, err := ASMSCtx(ctx, ds, k, basis, vs)
 	if err != nil {

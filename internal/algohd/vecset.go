@@ -10,13 +10,16 @@ package algohd
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rankregret/rankregret/internal/ctxutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/skyline"
 	"github.com/rankregret/rankregret/internal/topk"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
@@ -31,6 +34,11 @@ import (
 // the top-K cache is shared with every other view of the same underlying
 // vector list. Per-vector top lists depend only on the dataset and that one
 // vector, so sharing never changes results.
+//
+// Every vector must lie in the non-negative orthant — all funcspace spaces,
+// the polar grid, and every Sampler guarantee this, and the paper's problem
+// statement assumes it. The top-K build relies on it: its k-skyband pruning
+// may drop tuples that are only optimal under negative weights.
 type VecSet struct {
 	ds   *dataset.Dataset
 	Vecs []geom.Vector
@@ -55,7 +63,21 @@ type VecSet struct {
 type topsCache struct {
 	ds *dataset.Dataset
 
+	// par bounds the scoring pass's worker count (0 = GOMAXPROCS). Results
+	// are bit-identical at every setting, so the knob is shared freely
+	// between views of one cache.
+	par atomic.Int32
+
 	buildMu sync.Mutex // serializes (re)builds; never held while mu is held
+
+	// Skyband candidate universe for the current depth, touched only under
+	// buildMu. Abandonment (skyband too large or over budget) is monotone
+	// in depth — a deeper skyband is a superset and costs strictly more to
+	// compute — so once set, skyAbandoned stops all further attempts.
+	skyDepth     int
+	skyAbandoned bool
+	skyIDs       []int            // ascending candidate ids
+	skySub       *dataset.Dataset // rows of skyIDs, aligned; nil when not pruning
 
 	mu   sync.Mutex
 	vecs []geom.Vector // canonical vector list; replaced on growth, never edited
@@ -78,6 +100,18 @@ func (tc *topsCache) ready(k int) bool {
 	defer tc.mu.Unlock()
 	return tc.topK >= k && tc.tops != nil && len(tc.tops) == len(tc.vecs)
 }
+
+// Depth staging of the lazily grown top lists: the first build goes
+// straight to minBuildDepth and every deepening multiplies by depthGrowth.
+// A depth change invalidates every committed list, so each step costs a
+// full scoring pass over |D| — HDRRM's doubling search probes k = 1, 2, 4,
+// ... and aggressive staging collapses those probes into one or two passes.
+// Staging is invisible in results: a depth-d cache answers every k <= d
+// with the same lists no matter how it got to depth d.
+const (
+	minBuildDepth = 2
+	depthGrowth   = 4
+)
 
 // ensure extends the cache so every canonical vector has a top list of
 // depth at least min(k, n). Depth growth is geometric (so a binary search's
@@ -106,46 +140,23 @@ func (tc *topsCache) ensure(ctx context.Context, k int) error {
 			// Depth is sufficient; only the newly added vectors are missing.
 			target = topK
 			start = len(committed)
-		} else if topK > 0 && target < 2*topK {
+		} else {
 			// Grow depth geometrically so the binary search's shrinking ks
 			// are free; a depth change invalidates every list, so rebuild
 			// from 0.
-			target = 2 * topK
+			if target < depthGrowth*topK {
+				target = depthGrowth * topK
+			}
+			if target < minBuildDepth {
+				target = minBuildDepth
+			}
 		}
 		if target > n {
 			target = n
 		}
 		tops := make([][]int, len(vecs))
 		copy(tops, committed[:start])
-		workers := runtime.GOMAXPROCS(0)
-		var wg sync.WaitGroup
-		chunk := (len(vecs) - start + workers - 1) / workers
-		if chunk < 1 {
-			chunk = 1
-		}
-		for w := 0; w < workers; w++ {
-			lo := start + w*chunk
-			hi := lo + chunk
-			if hi > len(vecs) {
-				hi = len(vecs)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				scores := make([]float64, n)
-				for v := lo; v < hi; v++ {
-					if ctxutil.Cancelled(ctx) != nil {
-						return
-					}
-					tops[v] = topk.TopK(tc.ds, vecs[v], target, scores)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-		if err := ctxutil.Cancelled(ctx); err != nil {
+		if err := tc.scorePass(ctx, vecs, start, target, tops); err != nil {
 			return err
 		}
 		tc.mu.Lock()
@@ -154,6 +165,109 @@ func (tc *topsCache) ensure(ctx context.Context, k int) error {
 		tc.mu.Unlock()
 	}
 	return nil
+}
+
+// vecTileSize is how many vectors one scoring tile carries: large enough to
+// amortize each L1-resident column strip of the batch kernel across many
+// vectors, shrunk for huge datasets so a worker's score buffer stays near
+// 8 MB.
+func vecTileSize(n int) int {
+	const maxFloats = 1 << 20
+	t := 16
+	for t > 1 && t*n > maxFloats {
+		t /= 2
+	}
+	return t
+}
+
+// scorePass fills tops[start:] with depth-target top lists for
+// vecs[start:], the expensive heart of every (re)build. Called with buildMu
+// held. Three optimizations over scoring one vector at a time against the
+// row-major matrix, all bit-identical to that baseline:
+//
+//   - the selection universe shrinks to the target-depth k-skyband
+//     (candidates): tuples always-beaten by target others can never enter
+//     any top-target list, so both scoring and selection skip them;
+//   - worker goroutines pull whole tiles of vectors and score them with
+//     dataset.UtilitiesBatch's blocked column-major kernel;
+//   - topk.SelectBatch turns each score tile into top lists by selection
+//     (inline heap scan or quickselect) instead of container/heap churn.
+//
+// The worker count honors SetParallelism (default GOMAXPROCS); tiles are
+// handed out by an atomic counter so uneven tiles cannot starve workers.
+func (tc *topsCache) scorePass(ctx context.Context, vecs []geom.Vector, start, target int, tops [][]int) error {
+	candIDs, candDS := tc.candidates(target)
+	// Materialize the column mirror before the fan-out so cold-path workers
+	// don't all race to build identical copies.
+	candDS.ColumnMajor()
+	tile := vecTileSize(candDS.N())
+	numTiles := (len(vecs) - start + tile - 1) / tile
+	workers := int(tc.par.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The pass is CPU-bound and each worker owns a score-tile buffer, so
+	// workers beyond the core count only add memory and scheduler churn; the
+	// floor keeps small-machine tile-handoff interleavings exercisable.
+	if ceiling := max(runtime.GOMAXPROCS(0), 16); workers > ceiling {
+		workers = ceiling
+	}
+	if workers > numTiles {
+		workers = numTiles
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scores [][]float64
+			var scratch []int
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTiles || ctxutil.Cancelled(ctx) != nil {
+					return
+				}
+				lo := start + t*tile
+				hi := lo + tile
+				if hi > len(vecs) {
+					hi = len(vecs)
+				}
+				scores = candDS.UtilitiesBatch(vecs[lo:hi], scores)
+				var lists [][]int
+				lists, scratch = topk.SelectBatch(scores, candIDs, target, scratch)
+				copy(tops[lo:hi], lists)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxutil.Cancelled(ctx)
+}
+
+// candidates returns the depth-aware selection universe: the k-skyband ids
+// plus a compacted dataset of their rows when pruning pays, or (nil, full
+// dataset) otherwise. Computed once per depth and cached; depth only grows,
+// so one slot suffices. Called with buildMu held.
+func (tc *topsCache) candidates(depth int) ([]int, *dataset.Dataset) {
+	n := tc.ds.N()
+	if depth >= n || tc.skyAbandoned {
+		return nil, tc.ds
+	}
+	if tc.skyDepth != depth {
+		tc.skyDepth = depth
+		tc.skySub = nil
+		tc.skyIDs = skyline.KSkyband(tc.ds, depth)
+		if len(tc.skyIDs) == 0 || len(tc.skyIDs) >= n {
+			tc.skyIDs = nil
+			tc.skyAbandoned = true
+		} else {
+			tc.skySub = tc.ds.Subset(tc.skyIDs)
+		}
+	}
+	if tc.skySub == nil {
+		return nil, tc.ds
+	}
+	return tc.skyIDs, tc.skySub
 }
 
 // snapshot ensures depth k and returns the committed lists. The returned
@@ -291,12 +405,26 @@ func SampleSizeTheorem10(n, d, r int, delta float64, maxM int) int {
 	return m
 }
 
+// ln is the natural log clamped to 0 for x <= 1: the sample-size and
+// set-cover bound formulas all want "log, but never negative". The single
+// definition here replaces the per-file helpers that used to shadow it.
 func ln(x float64) float64 {
-	// Tiny wrapper to keep the formula readable.
 	if x <= 1 {
 		return 0
 	}
-	return logE(x)
+	return math.Log(x)
+}
+
+// SetParallelism bounds the number of worker goroutines the top-K scoring
+// passes may use; 0 or negative restores the default (GOMAXPROCS). Results
+// are bit-identical at every setting — parallelism splits work across
+// vectors, never within one — so when the top-K cache is shared the knob is
+// shared too, and the most recent setting wins.
+func (vs *VecSet) SetParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	vs.cache().par.Store(int32(p))
 }
 
 // EnsureTopK extends the cached per-vector top lists to at least k entries

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/skyline"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
@@ -19,19 +21,27 @@ type EngineBenchCase struct {
 	D         int     `json:"d"`
 	R         int     `json:"r"`
 	Algorithm string  `json:"algorithm"`
-	ColdMS    float64 `json:"cold_ms"` // first solve (cache miss)
-	WarmMS    float64 `json:"warm_ms"` // one cached re-solve
+	ColdMS    float64 `json:"cold_ms"`     // first solve, parallelism 1 (cache miss)
+	ColdParMS float64 `json:"cold_par_ms"` // first solve at parallelism GOMAXPROCS, on a fresh engine
+	WarmMS    float64 `json:"warm_ms"`     // one cached re-solve
 	// VecSetReuseMS is a solve at RReuse != R on the same dataset: a
 	// solution-cache miss that reuses the VecSet tier, i.e. the marginal
-	// cost of one more point of a parameter sweep. Meaningful for the
-	// HDRRM-family algorithms only; the 2D DP has no VecSet and pays the
-	// full solve again.
-	VecSetReuseMS   float64 `json:"vecset_reuse_ms"`
-	RReuse          int     `json:"r_reuse"`
-	CacheHitsPerSec float64 `json:"cache_hits_per_sec"` // single-goroutine cached re-solve throughput
-	ConcHitsPerSec  float64 `json:"conc_hits_per_sec"`  // cached re-solve throughput across GOMAXPROCS goroutines
-	Size            int     `json:"size"`
-	RankRegret      int     `json:"rank_regret"`
+	// cost of one more point of a parameter sweep. Measured only for the
+	// HDRRM-family algorithms — the 2D DP has no VecSet, so the fields are
+	// omitted rather than reporting a meaningless "reuse" that costs as
+	// much as a cold solve.
+	VecSetReuseMS *float64 `json:"vecset_reuse_ms,omitempty"`
+	RReuse        int      `json:"r_reuse,omitempty"`
+	// SkybandFrac is |k-skyband| / n at the solver's reported threshold — a
+	// diagnostic of how prunable the data is at the rank the solve settled
+	// on (1 = nothing to drop; omitted for non-VecSet algorithms). The cold
+	// path's staged build depths prune with supersets of this band, so the
+	// universe it actually scored retains somewhat more than this fraction.
+	SkybandFrac     *float64 `json:"skyband_frac,omitempty"`
+	CacheHitsPerSec float64  `json:"cache_hits_per_sec"` // single-goroutine cached re-solve throughput
+	ConcHitsPerSec  float64  `json:"conc_hits_per_sec"`  // cached re-solve throughput across GOMAXPROCS goroutines
+	Size            int      `json:"size"`
+	RankRegret      int      `json:"rank_regret"`
 }
 
 // EngineBenchResult is the machine-readable output of EngineBench, written
@@ -47,14 +57,22 @@ type EngineBenchResult struct {
 }
 
 // EngineBenchSchema identifies the BENCH_engine.json format version: v2
-// added vecset_reuse_ms / r_reuse per case and the vecsets counters.
-const EngineBenchSchema = "rankregret/bench-engine/v2"
+// added vecset_reuse_ms / r_reuse per case and the vecsets counters; v3
+// split cold into cold_ms (parallelism 1) and cold_par_ms (parallelism
+// GOMAXPROCS), added skyband_frac, and dropped the vecset-reuse fields from
+// algorithms that have no VecSet.
+const EngineBenchSchema = "rankregret/bench-engine/v3"
 
 const hitIters = 200
 
-// EngineBench measures engine solve latency (cold vs cached) and solution-
-// cache hit throughput on the simulated real datasets. The ci scale uses
-// laptop-friendly sizes; paper scale uses larger ones.
+// usesVecSets reports whether the algorithm draws on the engine's VecSet
+// tier (and hence has a meaningful sweep-reuse and skyband measurement).
+func usesVecSets(algo string) bool { return algo == engine.AlgoHDRRM }
+
+// EngineBench measures engine solve latency (cold sequential, cold
+// parallel, cached) and solution-cache hit throughput on the simulated real
+// datasets. The ci scale uses laptop-friendly sizes; paper scale uses larger
+// ones.
 func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 	type point struct {
 		name string
@@ -81,7 +99,7 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, p := range points {
-		opts := engine.Options{Seed: seed, MaxSamples: sc.MaxM}
+		opts := engine.Options{Seed: seed, MaxSamples: sc.MaxM, Parallelism: 1}
 		start := time.Now()
 		sol, err := e.Solve(ctx, p.ds, p.r, p.algo, opts)
 		if err != nil {
@@ -89,20 +107,57 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 		}
 		cold := time.Since(start)
 
-		// A different budget on the same dataset: misses the solution cache
-		// but reuses the shared VecSet, which is the sweep fast path.
-		rReuse := p.r + 2
+		// The same cold solve at full parallelism, on a throwaway engine so
+		// nothing is cached. Results are bit-identical; only latency moves.
+		parEngine := engine.New(0)
+		parOpts := opts
+		parOpts.Parallelism = 0
 		start = time.Now()
-		if _, err := e.Solve(ctx, p.ds, rReuse, p.algo, opts); err != nil {
-			return out, fmt.Errorf("bench: engine reuse solve %s/%s: %w", p.name, p.algo, err)
+		parSol, err := parEngine.Solve(ctx, p.ds, p.r, p.algo, parOpts)
+		if err != nil {
+			return out, fmt.Errorf("bench: engine parallel cold solve %s/%s: %w", p.name, p.algo, err)
 		}
-		reuse := time.Since(start)
+		coldPar := time.Since(start)
+		if !slices.Equal(parSol.IDs, sol.IDs) || parSol.RankRegret != sol.RankRegret {
+			return out, fmt.Errorf("bench: parallel cold solve diverged on %s/%s", p.name, p.algo)
+		}
+
+		c := EngineBenchCase{
+			Dataset:    p.name,
+			N:          p.ds.N(),
+			D:          p.ds.Dim(),
+			R:          p.r,
+			Algorithm:  p.algo,
+			ColdMS:     float64(cold.Microseconds()) / 1000,
+			ColdParMS:  float64(coldPar.Microseconds()) / 1000,
+			Size:       len(sol.IDs),
+			RankRegret: sol.RankRegret,
+		}
+
+		if usesVecSets(p.algo) {
+			// A different budget on the same dataset: misses the solution
+			// cache but reuses the shared VecSet, which is the sweep fast
+			// path.
+			c.RReuse = p.r + 2
+			start = time.Now()
+			if _, err := e.Solve(ctx, p.ds, c.RReuse, p.algo, opts); err != nil {
+				return out, fmt.Errorf("bench: engine reuse solve %s/%s: %w", p.name, p.algo, err)
+			}
+			reuse := float64(time.Since(start).Microseconds()) / 1000
+			c.VecSetReuseMS = &reuse
+
+			frac := 1.0
+			if band := skyline.KSkyband(p.ds, sol.RankRegret); band != nil {
+				frac = float64(len(band)) / float64(p.ds.N())
+			}
+			c.SkybandFrac = &frac
+		}
 
 		start = time.Now()
 		if _, err := e.Solve(ctx, p.ds, p.r, p.algo, opts); err != nil {
 			return out, err
 		}
-		warm := time.Since(start)
+		c.WarmMS = float64(time.Since(start).Microseconds()) / 1000
 
 		start = time.Now()
 		for i := 0; i < hitIters; i++ {
@@ -110,7 +165,7 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 				return out, err
 			}
 		}
-		hitsPerSec := float64(hitIters) / time.Since(start).Seconds()
+		c.CacheHitsPerSec = float64(hitIters) / time.Since(start).Seconds()
 
 		workers := runtime.GOMAXPROCS(0)
 		start = time.Now()
@@ -131,23 +186,9 @@ func EngineBench(sc Scale, seed int64) (EngineBenchResult, error) {
 				return out, err
 			}
 		}
-		concPerSec := float64(workers*hitIters) / time.Since(start).Seconds()
+		c.ConcHitsPerSec = float64(workers*hitIters) / time.Since(start).Seconds()
 
-		out.Cases = append(out.Cases, EngineBenchCase{
-			Dataset:         p.name,
-			N:               p.ds.N(),
-			D:               p.ds.Dim(),
-			R:               p.r,
-			Algorithm:       p.algo,
-			ColdMS:          float64(cold.Microseconds()) / 1000,
-			WarmMS:          float64(warm.Microseconds()) / 1000,
-			VecSetReuseMS:   float64(reuse.Microseconds()) / 1000,
-			RReuse:          rReuse,
-			CacheHitsPerSec: hitsPerSec,
-			ConcHitsPerSec:  concPerSec,
-			Size:            len(sol.IDs),
-			RankRegret:      sol.RankRegret,
-		})
+		out.Cases = append(out.Cases, c)
 	}
 	out.Cache = e.CacheStats()
 	out.VecSets = e.VecSetStats()

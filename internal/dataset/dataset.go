@@ -28,6 +28,11 @@ type Dataset struct {
 	// reset it; the atomic makes concurrent readers of a settled dataset
 	// race-free.
 	fp atomic.Uint64
+
+	// cols memoizes the column-major mirror behind UtilitiesBatch (nil =
+	// not yet built). Mutating methods reset it; the atomic makes
+	// concurrent readers of a settled dataset race-free.
+	cols atomic.Pointer[[]float64]
 }
 
 // New returns an empty dataset with dimension d.
@@ -207,6 +212,77 @@ func (ds *Dataset) Utilities(u []float64, dst []float64) []float64 {
 	return dst
 }
 
+// ColumnMajor returns a cached column-major mirror of the value matrix:
+// attribute j of tuple i is at index j*N()+i. The mirror is built on first
+// use and invalidated by mutation; callers must treat it as read-only. It is
+// the substrate of UtilitiesBatch: scoring many utility vectors walks each
+// column contiguously instead of striding through rows.
+func (ds *Dataset) ColumnMajor() []float64 {
+	if p := ds.cols.Load(); p != nil {
+		return *p
+	}
+	n, d := ds.N(), ds.d
+	cols := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		row := ds.vals[i*d : (i+1)*d]
+		for j, v := range row {
+			cols[j*n+i] = v
+		}
+	}
+	ds.cols.Store(&cols)
+	return cols
+}
+
+// utilitiesTupleTile is the tuple-block width of the batch-scoring kernel:
+// one column strip of this many float64s (8 KB) stays L1-resident while
+// every vector of the tile accumulates against it.
+const utilitiesTupleTile = 1024
+
+// UtilitiesBatch fills dst[b] (each length N) with the utility of every
+// tuple under us[b] and returns dst. If dst is nil, too short, or holds
+// under-sized rows, the needed slices are (re)allocated. Scores are
+// bit-identical to per-vector Utilities calls — both accumulate attribute
+// terms in ascending j order — but the kernel runs blocked loops over the
+// cached column-major mirror, so a tile of vectors reuses each L1-resident
+// column strip instead of re-streaming the whole matrix per vector.
+func (ds *Dataset) UtilitiesBatch(us [][]float64, dst [][]float64) [][]float64 {
+	n, d := ds.N(), ds.d
+	if cap(dst) < len(us) {
+		dst = make([][]float64, len(us))
+	}
+	dst = dst[:len(us)]
+	for b := range dst {
+		if cap(dst[b]) < n {
+			dst[b] = make([]float64, n)
+		}
+		dst[b] = dst[b][:n]
+	}
+	if n == 0 {
+		return dst
+	}
+	cols := ds.ColumnMajor()
+	for i0 := 0; i0 < n; i0 += utilitiesTupleTile {
+		i1 := i0 + utilitiesTupleTile
+		if i1 > n {
+			i1 = n
+		}
+		for b, u := range us {
+			acc := dst[b][i0:i1]
+			for i := range acc {
+				acc[i] = 0
+			}
+			for j := 0; j < d; j++ {
+				w := u[j]
+				col := cols[j*n+i0 : j*n+i1]
+				for i, v := range col {
+					acc[i] += w * v
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // Normalize min-max scales every attribute to [0,1] in place, matching the
 // paper's preprocessing. Constant attributes become all-zero. It returns the
 // per-attribute (min, max) pairs used, so callers can map results back to
@@ -328,8 +404,12 @@ func (ds *Dataset) Fingerprint() uint64 {
 	return fp
 }
 
-// dirty invalidates the memoized fingerprint; every mutator calls it.
-func (ds *Dataset) dirty() { ds.fp.Store(0) }
+// dirty invalidates the memoized fingerprint and column-major mirror; every
+// mutator calls it.
+func (ds *Dataset) dirty() {
+	ds.fp.Store(0)
+	ds.cols.Store(nil)
+}
 
 // String summarizes the dataset for logs.
 func (ds *Dataset) String() string {

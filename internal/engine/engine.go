@@ -65,6 +65,10 @@ type Options struct {
 	// touched once, where retaining the tier's top-K lists would cost more
 	// memory than the sweep reuse is worth.
 	NoVecSetCache bool
+	// Parallelism bounds the worker goroutines of the HDRRM-family top-K
+	// scoring passes (0 = GOMAXPROCS). Results are bit-identical at every
+	// setting, which is why it is not part of any cache key.
+	Parallelism int
 }
 
 // hd converts Options to the algohd option struct, applying the paper
@@ -89,6 +93,7 @@ func (o Options) hd() algohd.Options {
 	ho.Seed = o.Seed
 	ho.Space = o.Space
 	ho.Sampler = o.Sampler
+	ho.Parallelism = o.Parallelism
 	return ho
 }
 

@@ -1,0 +1,137 @@
+package topk
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// scoresAsDataset wraps raw scores as a 1-attribute dataset whose utility
+// under u = (1) is exactly the score, so TopK can serve as the reference
+// selection over an arbitrary score slice.
+func scoresAsDataset(scores []float64) *dataset.Dataset {
+	rows := make([][]float64, len(scores))
+	for i, s := range scores {
+		rows[i] = []float64{s}
+	}
+	return dataset.MustFromRows(rows)
+}
+
+// tiedScores returns n scores quantized to few distinct values, so exact
+// ties — the case the deterministic tie-break exists for — are common.
+func tiedScores(seed int64, n, levels int) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(rng.Intn(levels)) / float64(levels)
+	}
+	return out
+}
+
+// heapSelect is the reference: the package's heap-based selection over a raw
+// score slice, via the same code path TopK uses.
+func heapSelect(scores []float64, k int) []int {
+	ds := scoresAsDataset(scores)
+	return TopK(ds, []float64{1}, k, nil)
+}
+
+// Property: Select agrees exactly with the heap-based TopK — same ids, same
+// order, including tie-breaks — on heavily tied data at every k.
+func TestSelectAgreesWithTopK(t *testing.T) {
+	f := func(seed int64, nn, ll, kk int) bool {
+		n := abs(nn)%120 + 1
+		levels := abs(ll)%6 + 1
+		scores := tiedScores(seed, n, levels)
+		k := abs(kk)%(n+2) + 1 // occasionally exceeds n: both must clamp
+		got := Select(scores, nil, k, nil)
+		want := heapSelect(scores, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selecting over a candidate subset with an ascending id mapping
+// equals filtering the full selection to those candidates.
+func TestSelectSubsetMapping(t *testing.T) {
+	f := func(seed int64, nn, kk int) bool {
+		n := abs(nn)%100 + 4
+		scores := tiedScores(seed, n, 5)
+		rng := xrand.New(seed + 1)
+		var ids []int
+		var sub []float64
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 {
+				ids = append(ids, i)
+				sub = append(sub, scores[i])
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		k := abs(kk)%len(ids) + 1
+		got := Select(sub, ids, k, nil)
+		// Reference: full selection restricted to the candidate ids.
+		keep := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			keep[id] = true
+		}
+		var want []int
+		for _, id := range Select(scores, nil, n, nil) {
+			if keep[id] {
+				want = append(want, id)
+			}
+			if len(want) == k {
+				break
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectBatch is Select applied row-wise.
+func TestSelectBatchAgreesWithSelect(t *testing.T) {
+	f := func(seed int64, nn, bb, kk int) bool {
+		n := abs(nn)%60 + 1
+		rows := make([][]float64, abs(bb)%5+1)
+		for b := range rows {
+			rows[b] = tiedScores(seed+int64(b), n, 4)
+		}
+		k := abs(kk)%n + 1
+		var scratch []int
+		var got [][]int
+		got, scratch = SelectBatch(rows, nil, k, scratch)
+		if _, again := SelectBatch(rows, nil, k, scratch); again == nil && n > 0 {
+			return false // scratch must come back for reuse
+		}
+		for b, row := range rows {
+			if !reflect.DeepEqual(got[b], Select(row, nil, k, nil)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if got := Select(nil, nil, 3, nil); got != nil {
+		t.Errorf("Select(nil) = %v, want nil", got)
+	}
+	if got := Select([]float64{1, 2}, nil, 0, nil); got != nil {
+		t.Errorf("Select(k=0) = %v, want nil", got)
+	}
+	got := Select([]float64{5, 5, 5}, nil, 5, nil)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("all-tied Select = %v, want [0 1 2]", got)
+	}
+}

@@ -168,6 +168,12 @@ type Options struct {
 	// Section V.C generalization. See GaussianPreference and
 	// MixturePreference.
 	Sampler Sampler
+	// Parallelism bounds the worker goroutines HDRRM's top-K scoring
+	// passes — the dominant cost of a cold solve — may use (0 =
+	// GOMAXPROCS). Results are bit-identical at every setting; the knob
+	// trades latency for CPU share, e.g. in a daemon running many solves
+	// concurrently.
+	Parallelism int
 }
 
 // Sampler draws one utility direction; it models a non-uniform user
@@ -238,6 +244,7 @@ func (o Options) engineOptions() engine.Options {
 		Seed:          o.Seed,
 		Sampler:       o.Sampler,
 		NoVecSetCache: o.NoVecSetCache,
+		Parallelism:   o.Parallelism,
 	}
 }
 
