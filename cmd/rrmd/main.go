@@ -12,9 +12,11 @@
 //	curl -X POST localhost:8080/v1/solve -d '{"dataset":"cars","r":5}'
 //
 // Endpoints: GET /healthz, GET /v1/algorithms, GET /v1/datasets,
-// POST /v1/datasets, GET /v1/datasets/{name}, POST /v1/solve,
-// POST /v1/solve/batch, POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, GET /v1/metrics, POST /v1/evaluate.
+// POST /v1/datasets, GET /v1/datasets/{name},
+// POST /v1/datasets/{name}/rows, DELETE /v1/datasets/{name}/rows,
+// GET /v1/datasets/{name}/versions, POST /v1/solve, POST /v1/solve/batch,
+// POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
+// GET /v1/metrics, POST /v1/evaluate.
 package main
 
 import (
@@ -51,6 +53,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
 		queueCap  = flag.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
 		solvePar  = flag.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
+		retainVer = flag.Int("retain-versions", DefaultRetainVersions, "dataset versions kept solvable per name (older versions age out)")
 		demo      = flag.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
 		seed      = flag.Int64("seed", 1, "seed for -demo dataset generation")
 	)
@@ -69,6 +72,7 @@ func run() error {
 	defer srv.Close()
 	srv.MaxUploadBytes = *maxUpload
 	srv.SolveParallelism = *solvePar
+	srv.RetainVersions = *retainVer
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {

@@ -17,9 +17,74 @@ import (
 	"github.com/rankregret/rankregret/internal/funcspace"
 )
 
-// Server is the rrmd serving core: a named-dataset registry in front of a
-// solver engine and its job scheduler. It is safe for concurrent use; every
-// handler may run on many goroutines at once.
+// DefaultRetainVersions is how many dataset versions (including the current
+// one) the registry keeps solvable by default. Older versions age out;
+// in-flight solves pinned to an aged-out version still finish — they hold
+// the snapshot — but new requests for it are rejected.
+const DefaultRetainVersions = 8
+
+// namedDataset is one registry entry: the retained version history of a
+// logical dataset, newest last. Mutations snapshot the newest version, apply
+// the change, and publish the snapshot as the new current, so every retained
+// version is immutable once listed and version-pinned solves stay
+// consistent no matter what mutates afterwards.
+type namedDataset struct {
+	mu       sync.Mutex
+	versions []*dataset.Dataset
+}
+
+func (nd *namedDataset) current() *dataset.Dataset {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.versions[len(nd.versions)-1]
+}
+
+// at resolves a pinned version (0 = current).
+func (nd *namedDataset) at(version uint64) (*dataset.Dataset, bool) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if version == 0 {
+		return nd.versions[len(nd.versions)-1], true
+	}
+	for _, ds := range nd.versions {
+		if ds.Version() == version {
+			return ds, true
+		}
+	}
+	return nil, false
+}
+
+// list returns the retained versions, oldest first.
+func (nd *namedDataset) list() []*dataset.Dataset {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return append([]*dataset.Dataset(nil), nd.versions...)
+}
+
+// mutate applies f to a snapshot of the current version and, on success,
+// publishes the snapshot as the new current, trimming history past retain.
+// On error nothing is published.
+func (nd *namedDataset) mutate(retain int, f func(*dataset.Dataset) error) (*dataset.Dataset, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	next := nd.versions[len(nd.versions)-1].Snapshot()
+	if err := f(next); err != nil {
+		return nil, err
+	}
+	nd.versions = append(nd.versions, next)
+	if retain < 1 {
+		retain = 1
+	}
+	if len(nd.versions) > retain {
+		nd.versions = append([]*dataset.Dataset(nil), nd.versions[len(nd.versions)-retain:]...)
+	}
+	return next, nil
+}
+
+// Server is the rrmd serving core: a named-dataset registry (with retained
+// version history and a mutation API) in front of a solver engine and its
+// job scheduler. It is safe for concurrent use; every handler may run on
+// many goroutines at once.
 type Server struct {
 	eng        *engine.Engine
 	sched      *engine.Scheduler
@@ -36,8 +101,12 @@ type Server struct {
 	// daemon.
 	SolveParallelism int
 
+	// RetainVersions caps each dataset's retained version history
+	// (DefaultRetainVersions when 0 or negative at first use).
+	RetainVersions int
+
 	mu       sync.RWMutex
-	datasets map[string]*dataset.Dataset
+	datasets map[string]*namedDataset
 }
 
 // NewServer returns a Server with its own engine (cacheSize 0 = engine
@@ -54,7 +123,8 @@ func NewServer(cacheSize int, maxTimeout time.Duration, workers, queueCap int) *
 		sched:          engine.NewScheduler(eng, workers, queueCap),
 		maxTimeout:     maxTimeout,
 		MaxUploadBytes: 64 << 20, // 64 MiB
-		datasets:       make(map[string]*dataset.Dataset),
+		RetainVersions: DefaultRetainVersions,
+		datasets:       make(map[string]*namedDataset),
 	}
 }
 
@@ -62,8 +132,8 @@ func NewServer(cacheSize int, maxTimeout time.Duration, workers, queueCap int) *
 // ones.
 func (s *Server) Close() { s.sched.Close() }
 
-// AddDataset registers ds under name, replacing any previous dataset with
-// that name.
+// AddDataset registers ds under name, replacing any previous dataset (and
+// its whole version history) with that name.
 func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
 	if name == "" {
 		return errors.New("rrmd: dataset name must be non-empty")
@@ -71,17 +141,47 @@ func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
 	if ds == nil || ds.N() == 0 {
 		return errors.New("rrmd: dataset is empty")
 	}
+	if ds.Version() == 0 {
+		// Derived datasets (Clone, Subset, Head, Project) arrive at version
+		// 0, which is the wire sentinel for "current" and would make the
+		// retained entry unpinnable. Re-materialize so every version number
+		// the registry ever lists is non-zero; content and fingerprint are
+		// unchanged.
+		fresh := dataset.New(ds.Dim())
+		if err := fresh.SetAttrs(ds.Attrs()); err != nil {
+			return err
+		}
+		for i := 0; i < ds.N(); i++ {
+			fresh.Append(ds.Row(i))
+		}
+		ds = fresh
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.datasets[name] = ds
+	s.datasets[name] = &namedDataset{versions: []*dataset.Dataset{ds}}
 	return nil
 }
 
-func (s *Server) dataset(name string) (*dataset.Dataset, bool) {
+func (s *Server) entry(name string) (*namedDataset, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ds, ok := s.datasets[name]
-	return ds, ok
+	nd, ok := s.datasets[name]
+	return nd, ok
+}
+
+func (s *Server) dataset(name string) (*dataset.Dataset, bool) {
+	nd, ok := s.entry(name)
+	if !ok {
+		return nil, false
+	}
+	return nd.current(), true
+}
+
+func (s *Server) retain() int {
+	if s.RetainVersions < 1 {
+		return DefaultRetainVersions
+	}
+	return s.RetainVersions
 }
 
 // Handler returns the daemon's HTTP routing table.
@@ -92,6 +192,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppendRows)
+	mux.HandleFunc("DELETE /v1/datasets/{name}/rows", s.handleDeleteRows)
+	mux.HandleFunc("GET /v1/datasets/{name}/versions", s.handleVersions)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -123,13 +226,14 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeOK(w, http.StatusOK, map[string]any{"algorithms": engine.Algorithms()})
 }
 
-// datasetInfo is the wire shape of one registry entry.
+// datasetInfo is the wire shape of one registry entry (one version of it).
 type datasetInfo struct {
 	Name        string   `json:"name"`
 	N           int      `json:"n"`
 	D           int      `json:"d"`
 	Attrs       []string `json:"attrs"`
 	Fingerprint string   `json:"fingerprint"`
+	Version     uint64   `json:"version"`
 }
 
 func info(name string, ds *dataset.Dataset) datasetInfo {
@@ -139,21 +243,24 @@ func info(name string, ds *dataset.Dataset) datasetInfo {
 		D:           ds.Dim(),
 		Attrs:       ds.Attrs(),
 		Fingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+		Version:     ds.Version(),
 	}
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	names := make([]string, 0, len(s.datasets))
-	for name := range s.datasets {
+	entries := make(map[string]*namedDataset, len(s.datasets))
+	for name, nd := range s.datasets {
 		names = append(names, name)
+		entries[name] = nd
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	out := make([]datasetInfo, 0, len(names))
 	for _, name := range names {
-		out = append(out, info(name, s.datasets[name]))
+		out = append(out, info(name, entries[name].current()))
 	}
-	s.mu.RUnlock()
 	writeOK(w, http.StatusOK, map[string]any{"datasets": out})
 }
 
@@ -199,11 +306,162 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	writeOK(w, http.StatusCreated, info(name, ds))
 }
 
+// mutateResponse is the wire shape of a successful mutation: the new current
+// version's info plus what the mutation did.
+type mutateResponse struct {
+	datasetInfo
+	Appended int `json:"appended,omitempty"`
+	Deleted  int `json:"deleted,omitempty"`
+}
+
+// handleAppendRows appends rows to a dataset, publishing a new version:
+//
+//	POST /v1/datasets/{name}/rows {"rows": [[0.1, 0.9], [0.4, 0.4]]}
+//
+// Rows are taken as-is (no re-normalization — a rewrite would invalidate
+// every cached artifact), so callers of normalized datasets must supply
+// values in the normalized units. Solves already in flight keep the version
+// they started with; new solves see the appended rows.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	nd, ok := s.entry(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	var req struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("rows must be non-empty"))
+		return
+	}
+	// Validate before mutate: a snapshot copies the whole value matrix
+	// under the entry lock, and malformed requests must not pay (or make
+	// everyone else wait on) that. Dimension is immutable across versions,
+	// so checking against the current one is exact. Finiteness needs no
+	// check: encoding/json cannot decode NaN/Inf (or out-of-range numbers)
+	// into a float64.
+	dim := nd.current().Dim()
+	for i, row := range req.Rows {
+		if len(row) != dim {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d attributes, want %d", i, len(row), dim))
+			return
+		}
+	}
+	next, err := nd.mutate(s.retain(), func(ds *dataset.Dataset) error {
+		for _, row := range req.Rows {
+			ds.Append(row)
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Appended: len(req.Rows)})
+}
+
+// handleDeleteRows removes rows by id from a dataset, publishing a new
+// version:
+//
+//	DELETE /v1/datasets/{name}/rows {"ids": [3, 17]}
+//
+// Ids refer to the current version's indexing; rows above a deleted id shift
+// down, exactly as Dataset.Delete documents. Deleting every row is rejected
+// (the registry never serves an empty dataset).
+func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	nd, ok := s.entry(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	var req struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
+		return
+	}
+	// Cheap pre-check before the snapshot-copying mutate; Delete
+	// re-validates against the authoritative row count inside the lock.
+	n := nd.current().N()
+	for _, id := range req.IDs {
+		if id < 0 || id >= n {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("delete index %d out of range [0, %d)", id, n))
+			return
+		}
+	}
+	before := 0
+	next, err := nd.mutate(s.retain(), func(ds *dataset.Dataset) error {
+		before = ds.N()
+		if err := ds.Delete(req.IDs); err != nil {
+			return err
+		}
+		if ds.N() == 0 {
+			return errors.New("refusing to delete every row")
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Deleted: before - next.N()})
+}
+
+// versionInfo is one entry of GET /v1/datasets/{name}/versions.
+type versionInfo struct {
+	Version     uint64 `json:"version"`
+	N           int    `json:"n"`
+	Fingerprint string `json:"fingerprint"`
+	Current     bool   `json:"current"`
+}
+
+// handleVersions lists the retained (solvable) versions, oldest first.
+// Solves pin to one with the request's "version" field.
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	nd, ok := s.entry(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	versions := nd.list()
+	out := make([]versionInfo, len(versions))
+	for i, ds := range versions {
+		out[i] = versionInfo{
+			Version:     ds.Version(),
+			N:           ds.N(),
+			Fingerprint: fmt.Sprintf("%016x", ds.Fingerprint()),
+			Current:     i == len(versions)-1,
+		}
+	}
+	writeOK(w, http.StatusOK, map[string]any{
+		"dataset":  name,
+		"retain":   s.retain(),
+		"versions": out,
+	})
+}
+
 // solveRequest is the wire shape of POST /v1/solve. Exactly one of R
 // (primal RRM: at most r tuples, minimum rank-regret) and K (dual RRR:
 // minimum tuples, rank-regret at most k) must be positive.
 type solveRequest struct {
-	Dataset    string  `json:"dataset"`
+	Dataset string `json:"dataset"`
+	// Version pins the solve to a retained dataset version (0 = current).
+	// In-flight solves always keep the version they started with; the pin
+	// lets sweeps and retries stay on one version across mutations.
+	Version    uint64  `json:"version,omitempty"`
 	R          int     `json:"r,omitempty"`
 	K          int     `json:"k,omitempty"`
 	Algorithm  string  `json:"algorithm,omitempty"`
@@ -252,14 +510,18 @@ type solveResponse struct {
 	Cache     engine.CacheStats `json:"cache"`
 }
 
-// resolve looks up the dataset, parses the space spec, and clamps the
-// requested timeout to the server ceiling — the validation every
-// dataset-touching endpoint shares. The returned int is the HTTP status to
-// use when err is non-nil.
-func (s *Server) resolve(name, spec string, timeoutMS int64) (*dataset.Dataset, funcspace.Space, time.Duration, int, error) {
-	ds, ok := s.dataset(name)
+// resolve looks up the dataset (pinned to a retained version when version
+// is non-zero), parses the space spec, and clamps the requested timeout to
+// the server ceiling — the validation every dataset-touching endpoint
+// shares. The returned int is the HTTP status to use when err is non-nil.
+func (s *Server) resolve(name, spec string, timeoutMS int64, version uint64) (*dataset.Dataset, funcspace.Space, time.Duration, int, error) {
+	nd, ok := s.entry(name)
 	if !ok {
 		return nil, nil, 0, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+	}
+	ds, ok := nd.at(version)
+	if !ok {
+		return nil, nil, 0, http.StatusGone, fmt.Errorf("version %d of dataset %q is not retained (see GET /v1/datasets/%s/versions)", version, name, name)
 	}
 	var sp funcspace.Space
 	if spec != "" {
@@ -372,7 +634,7 @@ func (s *Server) engineRequest(req solveRequest) (engine.Request, int, error) {
 	if (req.R > 0) == (req.K > 0) {
 		return engine.Request{}, http.StatusBadRequest, errors.New("exactly one of r and k must be positive")
 	}
-	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS)
+	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS, req.Version)
 	if err != nil {
 		return engine.Request{}, status, err
 	}
@@ -611,6 +873,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // sampled rank-regret estimate for a caller-chosen tuple set.
 type evaluateRequest struct {
 	Dataset   string `json:"dataset"`
+	Version   uint64 `json:"version,omitempty"`
 	IDs       []int  `json:"ids"`
 	Space     string `json:"space,omitempty"`
 	Samples   int    `json:"samples,omitempty"`
@@ -628,7 +891,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
 		return
 	}
-	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS)
+	ds, sp, timeout, status, err := s.resolve(req.Dataset, req.Space, req.TimeoutMS, req.Version)
 	if err != nil {
 		writeErr(w, status, err)
 		return

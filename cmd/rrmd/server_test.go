@@ -35,20 +35,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out bytes.Buffer
-	if _, err := out.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	return resp, out.Bytes()
+	return doJSON(t, http.MethodPost, url, body)
 }
 
 func TestSolveMatchesLibrary(t *testing.T) {

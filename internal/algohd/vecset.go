@@ -180,6 +180,26 @@ func vecTileSize(n int) int {
 	return t
 }
 
+// clampWorkers bounds a scoring or repair pass's fan-out: the configured
+// parallelism (0 = GOMAXPROCS), capped because the passes are CPU-bound and
+// each worker owns a score-tile buffer — workers beyond the core count only
+// add memory and scheduler churn; the floor of 16 keeps small-machine
+// tile-handoff interleavings exercisable — and never more workers than
+// tiles. Builds and repairs share this one clamp so their fan-out can never
+// drift apart.
+func clampWorkers(workers, numTiles int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if ceiling := max(runtime.GOMAXPROCS(0), 16); workers > ceiling {
+		workers = ceiling
+	}
+	if workers > numTiles {
+		workers = numTiles
+	}
+	return workers
+}
+
 // scorePass fills tops[start:] with depth-target top lists for
 // vecs[start:], the expensive heart of every (re)build. Called with buildMu
 // held. Three optimizations over scoring one vector at a time against the
@@ -202,19 +222,7 @@ func (tc *topsCache) scorePass(ctx context.Context, vecs []geom.Vector, start, t
 	candDS.ColumnMajor()
 	tile := vecTileSize(candDS.N())
 	numTiles := (len(vecs) - start + tile - 1) / tile
-	workers := int(tc.par.Load())
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// The pass is CPU-bound and each worker owns a score-tile buffer, so
-	// workers beyond the core count only add memory and scheduler churn; the
-	// floor keeps small-machine tile-handoff interleavings exercisable.
-	if ceiling := max(runtime.GOMAXPROCS(0), 16); workers > ceiling {
-		workers = ceiling
-	}
-	if workers > numTiles {
-		workers = numTiles
-	}
+	workers := clampWorkers(int(tc.par.Load()), numTiles)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,405 @@
+package algohd
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rankregret/rankregret/internal/ctxutil"
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/topk"
+)
+
+// Incremental repair of a SharedVecSet across dataset mutations. The
+// discretization D (polar grid + seeded sample stream) depends only on the
+// dimension, space, gamma, and seed — never on the data — so a mutated
+// dataset can reuse it outright. What does depend on the data is the
+// expensive part: the per-vector top-K lists. Repair reuses those too:
+//
+//   - appended rows are batch-scored with dataset.UtilitiesBatch and
+//     merge-repaired into each committed list under the exact selection
+//     comparator (topk.Beats), instead of re-scoring the whole dataset;
+//   - deleted rows remap the ids of untouched lists for free, and only the
+//     lists whose top-K intersects the tombstones are re-selected from
+//     scratch, falling back to a full rebuild when the churn exceeds
+//     repairChurnFrac;
+//   - the cached k-skyband candidate set extends in place on pure appends
+//     (a superset of the true skyband is always a sound pruning universe)
+//     and resets on deletes.
+//
+// Repaired lists are bit-identical to a cold build on the mutated dataset:
+// scores accumulate attribute terms in the same ascending-j order on both
+// paths, surviving rows keep their values and relative id order, and the
+// merge uses the builders' own comparator.
+
+// repairChurnFrac is the delete-churn rebuild threshold: when more than this
+// fraction of committed lists intersect the tombstones, per-vector
+// re-selection would approach the cost of a fresh scoring pass and repair
+// declines in favor of a cold rebuild.
+const repairChurnFrac = 0.25
+
+// repairMaxNewFrac bounds how large the appended-row set may be relative to
+// the repaired dataset before a cold rebuild is preferred: merging a
+// near-rebuilt dataset row set saves nothing over scoring it from scratch.
+const repairMaxNewFrac = 0.5
+
+// NewRepairedVecSet prepares a SharedVecSet for newDS that will, on first
+// Acquire, materialize by incrementally repairing old's grid, sample stream,
+// and committed top-K lists across the recorded deltas (which must span
+// old.Dataset().Version() .. newDS.Version() of the same lineage). The
+// repair is lazy, runs under the new set's lock (so concurrent first
+// acquirers coalesce on it, exactly like cold builds), and never mutates
+// old: views already handed out by old keep serving the pre-mutation
+// dataset, which is what version-pinned solves rely on. When the repair
+// declines — a rewrite delta, excessive delete churn, an inconsistent
+// history — the set silently falls back to a cold build, so callers need no
+// fallback path of their own.
+func NewRepairedVecSet(old *SharedVecSet, newDS *dataset.Dataset, deltas []dataset.Delta) *SharedVecSet {
+	// No locks here: this runs under the engine's cache lock, and waiting on
+	// a mid-build source would stall every cache acquire. The space config
+	// (which may only settle when the source builds) is copied lazily at
+	// materialization time, under the new set's own lock only.
+	return &SharedVecSet{
+		ds:      newDS,
+		gamma:   old.gamma,
+		seed:    old.seed,
+		sampler: old.sampler,
+		repair:  &repairSource{old: old, deltas: deltas},
+	}
+}
+
+// repairFrom materializes s from src, returning ok=false when the repair
+// declines (caller falls back to a cold build) and an error only on
+// cancellation. Called with s.mu held; takes the source's locks, which is
+// safe because a repair source is always strictly older than its consumer.
+func (s *SharedVecSet) repairFrom(ctx context.Context, src *repairSource) (bool, error) {
+	old := src.old
+	// A chain of pending repairs (mutations with no solves in between)
+	// resolves recursively: materializing the source may itself repair from
+	// its own source.
+	if err := old.materialize(ctx); err != nil {
+		return false, err
+	}
+	old.mu.Lock()
+	// Full slice expressions cap capacity so a later extension of either
+	// set's vector list reallocates instead of appending into the shared
+	// backing array.
+	vecs := old.vecs[:len(old.vecs):len(old.vecs)]
+	space, gridCount, samples, oldTC := old.space, old.gridCount, old.samples, old.tc
+	old.mu.Unlock()
+	// Adopt the source's resolved space immediately: even a declined
+	// repair's cold-build fallback must discretize the same (possibly
+	// restricted) space the chain was configured with.
+	s.space = space
+
+	tc, ok, err := oldTC.repaired(ctx, s.ds, src.deltas)
+	if err != nil || !ok {
+		return ok, err
+	}
+	s.vecs = vecs
+	s.gridCount = gridCount
+	s.samples = samples
+	// The sample stream is deterministic from the seed; rather than cloning
+	// the source's rng, resync (replay) lazily if an extension ever needs it.
+	s.rng = nil
+	s.rngDirty = true
+	s.tc = tc
+	s.built = true
+	return true, nil
+}
+
+// repaired returns a new topsCache for newDS whose committed lists are
+// incrementally repaired from tc's across deltas, or ok=false when repair
+// is not worthwhile (see the file comment for the decline conditions). tc
+// itself is never modified. The error is cancellation only.
+func (tc *topsCache) repaired(ctx context.Context, newDS *dataset.Dataset, deltas []dataset.Delta) (*topsCache, bool, error) {
+	// buildMu serializes against scoring passes on the source and makes the
+	// skyband fields safe to read; the committed lists themselves are
+	// immutable once published.
+	tc.buildMu.Lock()
+	defer tc.buildMu.Unlock()
+	tc.mu.Lock()
+	vecs, topK, tops := tc.vecs, tc.topK, tc.tops
+	tc.mu.Unlock()
+
+	newN := newDS.N()
+	if newN == 0 || newDS.Dim() != tc.ds.Dim() {
+		return nil, false, nil
+	}
+	out := &topsCache{ds: newDS, vecs: vecs}
+	out.par.Store(tc.par.Load())
+	if len(tops) == 0 || topK == 0 {
+		// Nothing expensive committed yet: carry the empty cache; the next
+		// ensure builds it against the new dataset.
+		return out, true, nil
+	}
+
+	oldToNew, newIDs, composedN, ok := dataset.ComposeDeltas(tc.ds.N(), deltas)
+	if !ok || composedN != newN {
+		return nil, false, nil
+	}
+	if float64(len(newIDs)) > repairMaxNewFrac*float64(newN) {
+		return nil, false, nil
+	}
+	// Verify the mapped rows byte-for-byte: every soundness argument above
+	// rests on surviving rows keeping their exact values. The structural
+	// checks cannot see a divergent history — two snapshots of one version
+	// mutated independently produce a delta window that composes cleanly
+	// but describes the wrong source — and this comparison can: any content
+	// drift under the mapping (including NaNs, conservatively) declines to
+	// a cold build. O(n*d), negligible next to the merge pass it guards.
+	for i, p := range oldToNew {
+		if p < 0 {
+			continue
+		}
+		a, b := tc.ds.Row(i), newDS.Row(p)
+		for j := range a {
+			if a[j] != b[j] {
+				return nil, false, nil
+			}
+		}
+	}
+	hasDelete := false
+	for _, v := range oldToNew {
+		if v < 0 {
+			hasDelete = true
+			break
+		}
+	}
+
+	target := topK
+	if target > newN {
+		target = newN
+	}
+
+	// Lists holding a tombstone cannot know their replacement entries from
+	// k-deep state; they are re-selected from scratch below. Past the churn
+	// threshold that re-selection approaches a full pass — decline.
+	var affected []int
+	if hasDelete {
+		for v, list := range tops {
+			for _, id := range list {
+				if oldToNew[id] < 0 {
+					affected = append(affected, v)
+					break
+				}
+			}
+		}
+		if float64(len(affected)) > repairChurnFrac*float64(len(tops)) {
+			return nil, false, nil
+		}
+	}
+
+	repTops := make([][]int, len(tops))
+	var newSub *dataset.Dataset
+	if len(newIDs) > 0 {
+		newSub = newDS.Subset(newIDs)
+		newSub.ColumnMajor() // materialize before the fan-out
+	}
+	isAffected := make([]bool, len(tops))
+	for _, v := range affected {
+		isAffected[v] = true
+	}
+	if err := tc.repairMergePass(ctx, vecs[:len(tops)], newDS, newSub, newIDs, oldToNew, hasDelete, isAffected, target, repTops, tops); err != nil {
+		return nil, false, err
+	}
+	if err := tc.repairReselectPass(ctx, vecs, newDS, affected, target, repTops); err != nil {
+		return nil, false, err
+	}
+	out.tops = repTops
+	out.topK = target
+
+	// Skyband candidate universe: on pure appends the old band plus the new
+	// rows is a superset of the true band (a row beaten by depth others
+	// before the append is still beaten by them), and a superset prunes
+	// soundly. Deletes can re-admit rows, so the band resets and the next
+	// depth probe recomputes it. Abandonment carries over: it only ever
+	// means "no pruning", which is always sound.
+	out.skyAbandoned = tc.skyAbandoned
+	if !hasDelete && tc.skySub != nil && !tc.skyAbandoned {
+		ids := make([]int, 0, len(tc.skyIDs)+len(newIDs))
+		ids = append(ids, tc.skyIDs...)
+		ids = append(ids, newIDs...) // appended ids exceed every old id: still ascending
+		out.skyDepth = tc.skyDepth
+		out.skyIDs = ids
+		out.skySub = newDS.Subset(ids)
+	}
+	return out, true, nil
+}
+
+// repairMergePass fills repTops[v] for every non-affected vector: the old
+// list remapped through the deletion and merged with the batch-scored
+// appended rows, truncated to target. Affected vectors are skipped (the
+// re-select pass owns them).
+func (tc *topsCache) repairMergePass(ctx context.Context, vecs []geom.Vector, newDS, newSub *dataset.Dataset, newIDs []int, oldToNew []int, hasDelete bool, isAffected []bool, target int, repTops, tops [][]int) error {
+	tile := vecTileSize(max(len(newIDs), 1))
+	numTiles := (len(vecs) + tile - 1) / tile
+	workers := clampWorkers(int(tc.par.Load()), numTiles)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scores [][]float64
+			var order []int
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTiles || ctxutil.Cancelled(ctx) != nil {
+					return
+				}
+				lo, hi := t*tile, min((t+1)*tile, len(vecs))
+				if newSub != nil {
+					scores = newSub.UtilitiesBatch(vecs[lo:hi], scores)
+				}
+				for v := lo; v < hi; v++ {
+					if isAffected[v] {
+						continue
+					}
+					var candScores []float64
+					if newSub != nil {
+						candScores = scores[v-lo]
+					}
+					repTops[v] = mergeRepairList(newDS, vecs[v], tops[v], oldToNew, hasDelete, newIDs, candScores, target, &order)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxutil.Cancelled(ctx)
+}
+
+// mergeRepairList produces the depth-target list for one vector from its
+// committed pre-mutation list: incumbents keep their order (scores and
+// relative ids are unchanged by append/delete), so the merge walks the two
+// sorted sequences with the builders' comparator. The result is exactly the
+// cold-built list: an old row absent from the incumbent list was beaten by
+// >= topK surviving rows and can never enter, and every appended row is a
+// candidate. When nothing changes, the committed slice is returned as-is
+// (lists are immutable, so sharing across caches is safe).
+func mergeRepairList(newDS *dataset.Dataset, u geom.Vector, list []int, oldToNew []int, hasDelete bool, newIDs []int, candScores []float64, target int, order *[]int) []int {
+	// When the incumbent list is at full depth, its weakest surviving member
+	// is a sound entry threshold: an appended row that loses to it cannot be
+	// in the merged top-target. Filtering first makes the dominant case —
+	// nothing enters — one dot product, and leaves the merge with only true
+	// entrants.
+	cand := (*order)[:0]
+	if target > 0 && len(list) >= target {
+		tailID := list[target-1]
+		if hasDelete {
+			tailID = oldToNew[tailID]
+		}
+		tailScore := newDS.Utility(u, tailID)
+		for i, id := range newIDs {
+			if topk.Beats(candScores[i], id, tailScore, tailID) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 && !hasDelete {
+			*order = cand
+			return list[:target:target]
+		}
+	} else {
+		for i := range newIDs {
+			cand = append(cand, i)
+		}
+	}
+	// Order the entrants by (score desc, id asc); newIDs is ascending, so
+	// candidate position order doubles as the id tie-break. Entrant counts
+	// are small, so an insertion sort on the exact comparator beats a
+	// reflective sort.
+	for i := 1; i < len(cand); i++ {
+		c := cand[i]
+		j := i - 1
+		for j >= 0 && topk.Beats(candScores[c], newIDs[c], candScores[cand[j]], newIDs[cand[j]]) {
+			cand[j+1] = cand[j]
+			j--
+		}
+		cand[j+1] = c
+	}
+	*order = cand
+
+	outLen := min(target, len(list)+len(cand))
+	out := make([]int, 0, outLen)
+	li, ci := 0, 0
+	changed := hasDelete // any remap means fresh content
+	incScored := false
+	var incID int
+	var incScore float64
+	for len(out) < outLen {
+		takeCand := li >= len(list)
+		if !takeCand {
+			if !incScored {
+				incID = list[li]
+				if hasDelete {
+					incID = oldToNew[incID]
+				}
+				if ci < len(cand) {
+					incScore = newDS.Utility(u, incID)
+				}
+				incScored = true
+			}
+			if ci < len(cand) {
+				cid := newIDs[cand[ci]]
+				takeCand = topk.Beats(candScores[cand[ci]], cid, incScore, incID)
+			}
+		}
+		if takeCand {
+			out = append(out, newIDs[cand[ci]])
+			ci++
+			changed = true
+		} else {
+			out = append(out, incID)
+			li++
+			incScored = false
+		}
+	}
+	if !changed && len(out) == len(list) {
+		return list
+	}
+	return out
+}
+
+// repairReselectPass recomputes the affected vectors' lists from scratch
+// against the full repaired dataset: scoring every row for just those
+// vectors is exactly what a cold build would feed the selector, so the
+// output is cold-identical by construction.
+func (tc *topsCache) repairReselectPass(ctx context.Context, vecs []geom.Vector, newDS *dataset.Dataset, affected []int, target int, repTops [][]int) error {
+	if len(affected) == 0 {
+		return nil
+	}
+	newDS.ColumnMajor()
+	affVecs := make([]geom.Vector, len(affected))
+	for i, v := range affected {
+		affVecs[i] = vecs[v]
+	}
+	tile := vecTileSize(newDS.N())
+	numTiles := (len(affVecs) + tile - 1) / tile
+	workers := clampWorkers(int(tc.par.Load()), numTiles)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scores [][]float64
+			var scratch []int
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTiles || ctxutil.Cancelled(ctx) != nil {
+					return
+				}
+				lo, hi := t*tile, min((t+1)*tile, len(affVecs))
+				scores = newDS.UtilitiesBatch(affVecs[lo:hi], scores)
+				var lists [][]int
+				lists, scratch = topk.SelectBatch(scores, nil, target, scratch)
+				for i, list := range lists {
+					repTops[affected[lo+i]] = list
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxutil.Cancelled(ctx)
+}

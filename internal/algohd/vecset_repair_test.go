@@ -1,0 +1,400 @@
+package algohd
+
+import (
+	"context"
+	"slices"
+	"sort"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/geom"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// mutateFn applies one scripted mutation to a snapshot. unpopular holds
+// base-dataset row ids in descending order of id, least list-popular first
+// within the scenario's picks; deleting in slice order keeps earlier
+// deletions from shifting later targets.
+type mutateFn func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, unpopular []int)
+
+func appendRows(count int) mutateFn {
+	return func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, unpopular []int) {
+		t.Helper()
+		row := make([]float64, ds.Dim())
+		for i := 0; i < count; i++ {
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			ds.Append(row)
+		}
+	}
+}
+
+func deleteRows(ids ...int) mutateFn {
+	return func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, unpopular []int) {
+		t.Helper()
+		if err := ds.Delete(ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// deleteUnpopular deletes the rows at the given positions of the unpopular
+// list — rows that appear in few (ideally zero) committed top-K lists, so
+// the deletion stays under the repair churn threshold.
+func deleteUnpopular(idx ...int) mutateFn {
+	return func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, unpopular []int) {
+		t.Helper()
+		ids := make([]int, len(idx))
+		for i, p := range idx {
+			ids[i] = unpopular[p]
+		}
+		if err := ds.Delete(ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// leastPopular returns count row ids of vs's dataset ordered by ascending
+// membership count over the committed depth-k lists, then re-sorted by
+// descending id so scenario deletions in slice order never shift later
+// targets.
+func leastPopular(vs *VecSet, n, k, count int) []int {
+	occ := make([]int, n)
+	for v := 0; v < vs.Len(); v++ {
+		for _, id := range vs.Top(v, k) {
+			occ[id]++
+		}
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if occ[ids[a]] != occ[ids[b]] {
+			return occ[ids[a]] < occ[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	ids = ids[:count]
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	return ids
+}
+
+// requireIdenticalTops asserts every vector's depth-k list matches between
+// the two sets, exactly.
+func requireIdenticalTops(t *testing.T, got, want *VecSet, k int) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("vector counts differ: %d vs %d", got.Len(), want.Len())
+	}
+	for v := 0; v < got.Len(); v++ {
+		g, w := got.Top(v, k), want.Top(v, k)
+		if !slices.Equal(g, w) {
+			t.Fatalf("vector %d: repaired top-%d %v != cold %v", v, k, g, w)
+		}
+	}
+}
+
+// TestRepairedTopsBitIdentical is the core contract: after any repairable
+// mutation sequence, the repaired set's top-K lists are exactly those of a
+// cold build over the mutated dataset — same ids, same order, same
+// tie-breaks — and the acquire outcome reports a repair.
+func TestRepairedTopsBitIdentical(t *testing.T) {
+	const (
+		n     = 150
+		d     = 3
+		gamma = 3
+		m     = 120
+		k     = 7
+	)
+	scenarios := []struct {
+		name    string
+		mutate  []mutateFn
+		repared bool // expected: materialized via repair (vs declined)
+	}{
+		{"append-few", []mutateFn{appendRows(5)}, true},
+		{"append-burst", []mutateFn{appendRows(40)}, true},
+		{"delete-few", []mutateFn{deleteUnpopular(0, 1, 2)}, true},
+		{"delete-then-append", []mutateFn{deleteUnpopular(3, 4), appendRows(8)}, true},
+		{"append-then-delete-appended", []mutateFn{appendRows(6), deleteRows(151, 154)}, true},
+		{"mixed-many-steps", []mutateFn{appendRows(10), deleteUnpopular(5), appendRows(3), deleteUnpopular(6, 7)}, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ctx := context.Background()
+			base := dataset.Anticorrelated(xrand.New(9), n, d)
+			old := NewSharedVecSet(base, nil, gamma, 42, nil)
+			oldView, _, err := old.Acquire(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Commit lists on the source so there is something to repair.
+			oldView.EnsureTopK(k)
+			unpopular := leastPopular(oldView, n, k, 8)
+
+			cur := base
+			rng := xrand.New(31)
+			for _, mut := range sc.mutate {
+				next := cur.Snapshot()
+				mut(t, rng, next, unpopular)
+				cur = next
+			}
+			deltas, ok := cur.Deltas(base.Version())
+			if !ok {
+				t.Fatal("delta history truncated")
+			}
+
+			rep := NewRepairedVecSet(old, cur, deltas)
+			repView, outcome, err := rep.Acquire(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.repared && outcome != VecSetRepaired {
+				t.Fatalf("outcome = %v, want repaired", outcome)
+			}
+
+			cold, err := BuildVecSet(cur, nil, gamma, m, xrand.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold.EnsureTopK(k)
+			requireIdenticalTops(t, repView, cold, k)
+
+			// Deepening and extending the repaired set must also agree with a
+			// cold set at the deeper k / larger m (exercises the carried
+			// skyband superset and the resynced sample stream).
+			k2, m2 := 2*k, m+30
+			repView2, _, err := rep.Acquire(ctx, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold2, err := BuildVecSet(cur, nil, gamma, m2, xrand.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold2.EnsureTopK(k2)
+			requireIdenticalTops(t, repView2, cold2, k2)
+
+			// The source set is untouched: its lists still describe the old
+			// dataset (version pinning relies on this).
+			coldOld, err := BuildVecSet(base, nil, gamma, m, xrand.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldOld.EnsureTopK(k)
+			requireIdenticalTops(t, oldView, coldOld, k)
+		})
+	}
+}
+
+// TestRepairDeclines checks every decline path falls back to a cold build
+// with correct results: rewrite deltas, delete churn past the threshold, and
+// append floods.
+func TestRepairDeclines(t *testing.T) {
+	const (
+		n     = 120
+		gamma = 3
+		m     = 80
+		k     = 5
+	)
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		mutate mutateFn
+	}{
+		{"rewrite", func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, _ []int) {
+			ds.Shift([]float64{0.1, 0.1, 0.1})
+		}},
+		{"churn", func(t *testing.T, rng *xrand.Rand, ds *dataset.Dataset, _ []int) {
+			// Delete half the dataset: far past the churn threshold.
+			ids := make([]int, 0, n/2)
+			for i := 0; i < n; i += 2 {
+				ids = append(ids, i)
+			}
+			if err := ds.Delete(ids); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"append-flood", appendRows(3 * n)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := dataset.Independent(xrand.New(5), n, 3)
+			old := NewSharedVecSet(base, nil, gamma, 7, nil)
+			oldView, _, err := old.Acquire(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldView.EnsureTopK(k)
+
+			cur := base.Snapshot()
+			tc.mutate(t, xrand.New(1), cur, nil)
+			deltas, ok := cur.Deltas(base.Version())
+			if !ok {
+				t.Fatal("history truncated")
+			}
+			rep := NewRepairedVecSet(old, cur, deltas)
+			repView, outcome, err := rep.Acquire(ctx, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outcome != VecSetBuilt {
+				t.Fatalf("outcome = %v, want cold-build fallback", outcome)
+			}
+			cold, err := BuildVecSet(cur, nil, gamma, m, xrand.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold.EnsureTopK(k)
+			requireIdenticalTops(t, repView, cold, k)
+		})
+	}
+}
+
+// TestRepairChain materializes a chain of pending repairs — several
+// mutations with no solve in between — and checks the final state equals a
+// cold build, with each link resolved incrementally.
+func TestRepairChain(t *testing.T) {
+	const (
+		gamma = 3
+		m     = 100
+		k     = 6
+	)
+	ctx := context.Background()
+	v0 := dataset.Correlated(xrand.New(3), 130, 3)
+	s0 := NewSharedVecSet(v0, nil, gamma, 11, nil)
+	view0, _, err := s0.Acquire(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view0.EnsureTopK(k)
+
+	rng := xrand.New(8)
+	v1 := v0.Snapshot()
+	appendRows(7)(t, rng, v1, nil)
+	d01, _ := v1.Deltas(v0.Version())
+	s1 := NewRepairedVecSet(s0, v1, d01) // never acquired: stays pending
+
+	v2 := v1.Snapshot()
+	deleteRows(131, 2)(t, rng, v2, nil)
+	d12, _ := v2.Deltas(v1.Version())
+	s2 := NewRepairedVecSet(s1, v2, d12)
+
+	view2, outcome, err := s2.Acquire(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != VecSetRepaired {
+		t.Fatalf("chain outcome = %v, want repaired", outcome)
+	}
+	cold, err := BuildVecSet(v2, nil, gamma, m, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.EnsureTopK(k)
+	requireIdenticalTops(t, view2, cold, k)
+}
+
+// TestRepairRestrictedSpace repairs a set built over a restricted utility
+// space and requires both the repair and (via a churn-forced decline) the
+// cold-build fallback to keep discretizing that space, matching standalone
+// builds exactly.
+func TestRepairRestrictedSpace(t *testing.T) {
+	const (
+		gamma = 3
+		m     = 80
+		k     = 5
+	)
+	ctx := context.Background()
+	space, err := funcspace.NewBall(geom.Vector{0.6, 0.5, 0.6}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dataset.Independent(xrand.New(14), 120, 3)
+	for _, forceDecline := range []bool{false, true} {
+		old := NewSharedVecSet(base, space, gamma, 5, nil)
+		oldView, _, err := old.Acquire(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldView.EnsureTopK(k)
+
+		cur := base.Snapshot()
+		if forceDecline {
+			ids := make([]int, 0, 60)
+			for i := 0; i < 120; i += 2 {
+				ids = append(ids, i)
+			}
+			if err := cur.Delete(ids); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			appendRows(9)(t, xrand.New(3), cur, nil)
+		}
+		deltas, ok := cur.Deltas(base.Version())
+		if !ok {
+			t.Fatal("history truncated")
+		}
+		rep := NewRepairedVecSet(old, cur, deltas)
+		view, outcome, err := rep.Acquire(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if forceDecline && outcome != VecSetBuilt {
+			t.Fatalf("churn flood outcome = %v, want built", outcome)
+		}
+		if !forceDecline && outcome != VecSetRepaired {
+			t.Fatalf("append outcome = %v, want repaired", outcome)
+		}
+		cold, err := BuildVecSet(cur, space, gamma, m, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold.EnsureTopK(k)
+		requireIdenticalTops(t, view, cold, k)
+	}
+}
+
+// TestRepairParallelismIndependence repairs the same mutation at several
+// worker counts and requires identical lists, mirroring the scoring passes'
+// bit-identical parallelism contract.
+func TestRepairParallelismIndependence(t *testing.T) {
+	const (
+		gamma = 3
+		m     = 90
+		k     = 6
+	)
+	ctx := context.Background()
+	base := dataset.Anticorrelated(xrand.New(21), 140, 4)
+	cur := base.Snapshot()
+	rng := xrand.New(2)
+	appendRows(12)(t, rng, cur, nil)
+	deleteRows(9, 50)(t, rng, cur, nil)
+	deltas, _ := cur.Deltas(base.Version())
+
+	var want *VecSet
+	for _, par := range []int{1, 4, 16} {
+		old := NewSharedVecSet(base, nil, gamma, 13, nil)
+		oldView, _, err := old.Acquire(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldView.SetParallelism(par)
+		oldView.EnsureTopK(k)
+		rep := NewRepairedVecSet(old, cur, deltas)
+		view, outcome, err := rep.Acquire(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != VecSetRepaired {
+			t.Fatalf("par=%d outcome = %v, want repaired", par, outcome)
+		}
+		if want == nil {
+			want = view
+			continue
+		}
+		requireIdenticalTops(t, view, want, k)
+	}
+}

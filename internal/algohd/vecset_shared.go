@@ -25,6 +25,10 @@ const (
 	// VecSetExtended means the sample stream was extended to reach the
 	// requested m; the grid and the existing prefix were reused.
 	VecSetExtended
+	// VecSetRepaired means this call materialized the set by incrementally
+	// repairing another set's grid, samples, and top-K lists across a
+	// dataset mutation (see NewRepairedVecSet) instead of building cold.
+	VecSetRepaired
 )
 
 // String returns the outcome's metric label.
@@ -34,6 +38,8 @@ func (o AcquireOutcome) String() string {
 		return "built"
 	case VecSetExtended:
 		return "extended"
+	case VecSetRepaired:
+		return "repaired"
 	default:
 		return "reused"
 	}
@@ -69,7 +75,23 @@ type SharedVecSet struct {
 	samples   int // sampled directions drawn so far
 	built     bool
 	tc        *topsCache
+
+	// repair, when non-nil, defers materialization to an incremental repair
+	// of another set's state (see NewRepairedVecSet); it is consumed by the
+	// first Acquire.
+	repair *repairSource
 }
+
+// repairSource names the set a pending repair draws from and the recorded
+// dataset mutations separating the two datasets.
+type repairSource struct {
+	old    *SharedVecSet
+	deltas []dataset.Delta
+}
+
+// Dataset returns the dataset this set discretizes; the pointer is fixed at
+// construction.
+func (s *SharedVecSet) Dataset() *dataset.Dataset { return s.ds }
 
 // NewSharedVecSet prepares a shared vector set for the given build
 // parameters without doing any work; the grid and samples are built by the
@@ -91,18 +113,10 @@ func (s *SharedVecSet) Acquire(ctx context.Context, m int) (*VecSet, AcquireOutc
 	defer s.mu.Unlock()
 	outcome := VecSetReused
 	if !s.built {
-		grid, space, err := buildGrid(s.ds, s.space, s.gamma)
-		if err != nil {
-			return nil, outcome, err
+		var err error
+		if outcome, err = s.materializeLocked(ctx); err != nil {
+			return nil, VecSetReused, err
 		}
-		s.space = space
-		s.rng = xrand.New(s.seed)
-		s.vecs = grid
-		s.gridCount = len(grid)
-		s.samples = 0
-		s.tc = &topsCache{ds: s.ds, vecs: s.vecs}
-		s.built = true
-		outcome = VecSetBuilt
 	}
 	if m > s.samples {
 		if s.rngDirty {
@@ -122,7 +136,7 @@ func (s *SharedVecSet) Acquire(ctx context.Context, m int) (*VecSet, AcquireOutc
 		s.vecs = vecs
 		s.samples = m
 		s.tc.setVecs(vecs)
-		if outcome != VecSetBuilt {
+		if outcome == VecSetReused {
 			outcome = VecSetExtended
 		}
 	}
@@ -130,6 +144,51 @@ func (s *SharedVecSet) Acquire(ctx context.Context, m int) (*VecSet, AcquireOutc
 		return nil, outcome, fmt.Errorf("algohd: empty vector set (space %s admits no directions)", s.space.Name())
 	}
 	return &VecSet{ds: s.ds, Vecs: s.vecs[:s.gridCount+m], GridCount: s.gridCount, tc: s.tc}, outcome, nil
+}
+
+// materializeLocked brings an un-built set to its built state: by repairing
+// the pending repair source when one is set (and the repair succeeds), else
+// by building the grid cold. Called with s.mu held. Errors are cancellation
+// or invalid build parameters; a cancelled repair stays pending so a later
+// Acquire retries it.
+func (s *SharedVecSet) materializeLocked(ctx context.Context) (AcquireOutcome, error) {
+	if src := s.repair; src != nil {
+		s.repair = nil
+		ok, err := s.repairFrom(ctx, src)
+		if err != nil {
+			s.repair = src
+			return VecSetReused, err
+		}
+		if ok {
+			return VecSetRepaired, nil
+		}
+		// Declined (rewrite, churn, truncated history): fall through to a
+		// cold build, which is always correct.
+	}
+	grid, space, err := buildGrid(s.ds, s.space, s.gamma)
+	if err != nil {
+		return VecSetReused, err
+	}
+	s.space = space
+	s.rng = xrand.New(s.seed)
+	s.vecs = grid
+	s.gridCount = len(grid)
+	s.samples = 0
+	s.tc = &topsCache{ds: s.ds, vecs: s.vecs}
+	s.built = true
+	return VecSetBuilt, nil
+}
+
+// materialize is materializeLocked behind the lock, used to force a repair
+// chain's source into existence before repairing from it.
+func (s *SharedVecSet) materialize(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.built {
+		return nil
+	}
+	_, err := s.materializeLocked(ctx)
+	return err
 }
 
 // resyncRNG repositions a fresh seeded rng at the end of the committed

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -19,10 +20,20 @@ import (
 // preferred; callers with smaller-is-better attributes should Negate them
 // first (the paper's convention). The zero value is an empty dataset of
 // dimension 0; use New or FromRows to construct a usable one.
+//
+// Datasets are versioned: every mutation bumps Version and is recorded in a
+// bounded delta log readable via Deltas, and Snapshot takes a cheap
+// same-lineage copy for version pinning. See delta.go.
 type Dataset struct {
 	d     int
 	vals  []float64 // row-major, length n*d
 	attrs []string  // length d, may contain empty names
+
+	// Versioning state; see delta.go.
+	lineage uint64
+	version uint64
+	floor   uint64 // earliest version Deltas can answer from
+	log     []Delta
 
 	// fp memoizes Fingerprint (0 = not yet computed). Mutating methods
 	// reset it; the atomic makes concurrent readers of a settled dataset
@@ -30,17 +41,30 @@ type Dataset struct {
 	fp atomic.Uint64
 
 	// cols memoizes the column-major mirror behind UtilitiesBatch (nil =
-	// not yet built). Mutating methods reset it; the atomic makes
-	// concurrent readers of a settled dataset race-free.
-	cols atomic.Pointer[[]float64]
+	// not yet built). Whole-matrix mutations reset it; Append keeps the
+	// stale mirror so ColumnMajor can repair it with straight copies
+	// instead of a strided re-transpose. The atomic makes concurrent
+	// readers of a settled dataset race-free.
+	cols atomic.Pointer[colMirror]
 }
+
+// colMirror is a column-major copy of the value matrix together with the row
+// count it was built at, so an append-stale mirror can be recognized and
+// repaired. The vals slice is read-only once published.
+type colMirror struct {
+	vals []float64 // attribute j of tuple i at j*rows+i
+	rows int
+}
+
+// lineageSeq hands out process-unique dataset identities.
+var lineageSeq atomic.Uint64
 
 // New returns an empty dataset with dimension d.
 func New(d int) *Dataset {
 	if d < 1 {
 		panic(fmt.Sprintf("dataset: dimension %d < 1", d))
 	}
-	return &Dataset{d: d, attrs: make([]string, d)}
+	return &Dataset{d: d, attrs: make([]string, d), lineage: lineageSeq.Add(1)}
 }
 
 // FromRows builds a dataset from a slice of rows, copying the values.
@@ -98,7 +122,46 @@ func (ds *Dataset) Append(row []float64) {
 		panic(fmt.Sprintf("dataset: Append row of length %d to dimension-%d dataset", len(row), ds.d))
 	}
 	ds.vals = append(ds.vals, row...)
+	ds.record(Delta{Kind: DeltaAppend, From: ds.version, To: ds.version + 1, Start: ds.N() - 1, Count: 1})
+	ds.fp.Store(0) // the mirror stays: ColumnMajor repairs it in place
+}
+
+// Delete removes the rows at the given indices, compacting the ids above
+// them downward (relative order of survivors is preserved). Indices may be
+// unsorted and contain duplicates; an out-of-range index fails the whole
+// call with no mutation. Deleting zero rows is a no-op that records nothing.
+func (ds *Dataset) Delete(ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	n, d := ds.N(), ds.d
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	uniq := sorted[:0]
+	for i, id := range sorted {
+		if id < 0 || id >= n {
+			return fmt.Errorf("dataset: Delete index %d out of range [0, %d)", id, n)
+		}
+		if i > 0 && id == sorted[i-1] {
+			continue
+		}
+		uniq = append(uniq, id)
+	}
+	w, di := 0, 0
+	for i := 0; i < n; i++ {
+		if di < len(uniq) && uniq[di] == i {
+			di++
+			continue
+		}
+		if w != i {
+			copy(ds.vals[w*d:(w+1)*d], ds.vals[i*d:(i+1)*d])
+		}
+		w++
+	}
+	ds.vals = ds.vals[:w*d]
+	ds.record(Delta{Kind: DeltaDelete, From: ds.version, To: ds.version + 1, Deleted: uniq})
 	ds.dirty()
+	return nil
 }
 
 // SetAttrs names the attributes; the slice is copied. Length must match Dim.
@@ -107,7 +170,7 @@ func (ds *Dataset) SetAttrs(names []string) error {
 		return fmt.Errorf("dataset: %d attribute names for dimension %d", len(names), ds.d)
 	}
 	copy(ds.attrs, names)
-	ds.dirty()
+	ds.rewrite()
 	return nil
 }
 
@@ -118,7 +181,10 @@ func (ds *Dataset) Attrs() []string {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with a fresh lineage and an empty mutation
+// history: the copy is a new logical dataset whose initial state is this
+// one's current content. Use Snapshot to take a same-lineage copy that
+// preserves version identity.
 func (ds *Dataset) Clone() *Dataset {
 	out := New(ds.d)
 	out.vals = append([]float64(nil), ds.vals...)
@@ -214,22 +280,41 @@ func (ds *Dataset) Utilities(u []float64, dst []float64) []float64 {
 
 // ColumnMajor returns a cached column-major mirror of the value matrix:
 // attribute j of tuple i is at index j*N()+i. The mirror is built on first
-// use and invalidated by mutation; callers must treat it as read-only. It is
-// the substrate of UtilitiesBatch: scoring many utility vectors walks each
-// column contiguously instead of striding through rows.
+// use; callers must treat it as read-only. It is the substrate of
+// UtilitiesBatch: scoring many utility vectors walks each column contiguously
+// instead of striding through rows.
+//
+// Whole-matrix mutations and deletes invalidate the mirror; appends keep it,
+// and the next call repairs it with one contiguous copy per column (old
+// column block + the appended tail) instead of re-transposing the matrix.
+// Published mirrors are never mutated, so a slice returned before the append
+// stays valid for the rows it covers.
 func (ds *Dataset) ColumnMajor() []float64 {
-	if p := ds.cols.Load(); p != nil {
-		return *p
-	}
 	n, d := ds.N(), ds.d
+	old := ds.cols.Load()
+	if old != nil && old.rows == n {
+		return old.vals
+	}
 	cols := make([]float64, n*d)
-	for i := 0; i < n; i++ {
-		row := ds.vals[i*d : (i+1)*d]
-		for j, v := range row {
-			cols[j*n+i] = v
+	if old != nil && old.rows < n {
+		// Append repair: each column's settled prefix moves with one copy;
+		// only the appended tail is gathered from the row-major values.
+		n0 := old.rows
+		for j := 0; j < d; j++ {
+			copy(cols[j*n:j*n+n0], old.vals[j*n0:(j+1)*n0])
+			for i := n0; i < n; i++ {
+				cols[j*n+i] = ds.vals[i*d+j]
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			row := ds.vals[i*d : (i+1)*d]
+			for j, v := range row {
+				cols[j*n+i] = v
+			}
 		}
 	}
-	ds.cols.Store(&cols)
+	ds.cols.Store(&colMirror{vals: cols, rows: n})
 	return cols
 }
 
@@ -317,7 +402,7 @@ func (ds *Dataset) Normalize() (mins, maxs []float64) {
 			}
 		}
 	}
-	ds.dirty()
+	ds.rewrite()
 	return mins, maxs
 }
 
@@ -334,7 +419,7 @@ func (ds *Dataset) Shift(delta []float64) {
 			row[j] += delta[j]
 		}
 	}
-	ds.dirty()
+	ds.rewrite()
 }
 
 // Negate flips attribute j (v -> -v), in place, converting a
@@ -347,7 +432,7 @@ func (ds *Dataset) Negate(j int) {
 	for i := 0; i < ds.N(); i++ {
 		ds.Row(i)[j] = -ds.Row(i)[j]
 	}
-	ds.dirty()
+	ds.rewrite()
 }
 
 // Basis returns one boundary-tuple index per attribute: the tuple with the
@@ -404,11 +489,19 @@ func (ds *Dataset) Fingerprint() uint64 {
 	return fp
 }
 
-// dirty invalidates the memoized fingerprint and column-major mirror; every
-// mutator calls it.
+// dirty invalidates the memoized fingerprint and column-major mirror.
+// Append does not use it — an append-stale mirror is repairable — but every
+// other mutator does.
 func (ds *Dataset) dirty() {
 	ds.fp.Store(0)
 	ds.cols.Store(nil)
+}
+
+// rewrite records a whole-matrix mutation: derived structure cannot be
+// repaired across it, only rebuilt.
+func (ds *Dataset) rewrite() {
+	ds.record(Delta{Kind: DeltaRewrite, From: ds.version, To: ds.version + 1})
+	ds.dirty()
 }
 
 // String summarizes the dataset for logs.

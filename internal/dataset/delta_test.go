@@ -1,0 +1,234 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+func rowsOf(ds *Dataset) [][]float64 {
+	out := make([][]float64, ds.N())
+	for i := range out {
+		out[i] = append([]float64(nil), ds.Row(i)...)
+	}
+	return out
+}
+
+func TestDeleteCompacts(t *testing.T) {
+	ds := MustFromRows([][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	if err := ds.Delete([]int{3, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 0}, {2, 2}, {4, 4}}
+	if got := rowsOf(ds); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after delete: %v, want %v", got, want)
+	}
+	if err := ds.Delete([]int{5}); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if ds.N() != 3 {
+		t.Fatalf("failed delete mutated the dataset: n=%d", ds.N())
+	}
+	if err := ds.Delete(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Delete([]int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 0 {
+		t.Fatalf("deleting every row left n=%d", ds.N())
+	}
+}
+
+func TestVersionMonotoneAndDeltas(t *testing.T) {
+	ds := MustFromRows([][]float64{{1}, {2}, {3}})
+	v0 := ds.Version()
+	if v0 != 3 {
+		t.Fatalf("version after 3 appends = %d, want 3", v0)
+	}
+	ds.Append([]float64{4})
+	ds.Append([]float64{5})
+	if err := ds.Delete([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Version() != v0+3 {
+		t.Fatalf("version = %d, want %d", ds.Version(), v0+3)
+	}
+
+	deltas, ok := ds.Deltas(v0)
+	if !ok {
+		t.Fatal("history truncated unexpectedly")
+	}
+	want := []Delta{
+		{Kind: DeltaAppend, From: 3, To: 5, Start: 3, Count: 2},
+		{Kind: DeltaDelete, From: 5, To: 6, Deleted: []int{0}},
+	}
+	if !reflect.DeepEqual(deltas, want) {
+		t.Fatalf("Deltas(%d) = %+v, want %+v", v0, deltas, want)
+	}
+
+	// A `since` inside the coalesced append entry splits it.
+	deltas, ok = ds.Deltas(v0 + 1)
+	if !ok {
+		t.Fatal("history truncated unexpectedly")
+	}
+	if deltas[0].Start != 4 || deltas[0].Count != 1 || deltas[0].From != 4 {
+		t.Fatalf("split append delta = %+v", deltas[0])
+	}
+
+	if _, ok := ds.Deltas(ds.Version() + 1); ok {
+		t.Fatal("future version answered")
+	}
+	if got, ok := ds.Deltas(ds.Version()); !ok || len(got) != 0 {
+		t.Fatalf("Deltas(current) = %v, %v", got, ok)
+	}
+}
+
+func TestDeltasRewriteAndTruncation(t *testing.T) {
+	ds := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	v0 := ds.Version()
+	ds.Shift([]float64{1, 1})
+	ds.Negate(0)
+	deltas, ok := ds.Deltas(v0)
+	if !ok || len(deltas) != 1 || deltas[0].Kind != DeltaRewrite {
+		t.Fatalf("rewrites did not coalesce: %+v ok=%v", deltas, ok)
+	}
+
+	// Overflow the log with delete bursts; history must report incomplete.
+	ds2 := MustFromRows([][]float64{{1}})
+	start := ds2.Version()
+	for i := 0; i < maxDeltaLog+8; i++ {
+		ds2.Append([]float64{float64(i)})
+		if err := ds2.Delete([]int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := ds2.Deltas(start); ok {
+		t.Fatal("truncated log claimed complete history")
+	}
+	if _, ok := ds2.Deltas(ds2.Version()); !ok {
+		t.Fatal("current version must always be answerable")
+	}
+}
+
+func TestSnapshotLineageAndIsolation(t *testing.T) {
+	ds := MustFromRows([][]float64{{1, 0}, {0, 1}})
+	snap := ds.Snapshot()
+	if snap.Lineage() != ds.Lineage() || snap.Version() != ds.Version() {
+		t.Fatalf("snapshot identity (%d,%d) != (%d,%d)",
+			snap.Lineage(), snap.Version(), ds.Lineage(), ds.Version())
+	}
+	if snap.Fingerprint() != ds.Fingerprint() {
+		t.Fatal("snapshot fingerprint differs")
+	}
+	next := snap.Snapshot()
+	next.Append([]float64{0.5, 0.5})
+	if ds.N() != 2 || snap.N() != 2 || next.N() != 3 {
+		t.Fatalf("mutating a snapshot leaked: n = %d/%d/%d", ds.N(), snap.N(), next.N())
+	}
+	if deltas, ok := next.Deltas(snap.Version()); !ok || len(deltas) != 1 || deltas[0].Kind != DeltaAppend {
+		t.Fatalf("snapshot chain deltas = %+v ok=%v", deltas, ok)
+	}
+	if ds.Clone().Lineage() == ds.Lineage() {
+		t.Fatal("Clone must get a fresh lineage")
+	}
+}
+
+func TestComposeDeltas(t *testing.T) {
+	ds := MustFromRows([][]float64{{0}, {1}, {2}, {3}})
+	v0 := ds.Version()
+	ds.Append([]float64{4})
+	ds.Append([]float64{5})
+	if err := ds.Delete([]int{1, 4}); err != nil { // drops old row 1 and appended row 4
+		t.Fatal(err)
+	}
+	ds.Append([]float64{6})
+	deltas, ok := ds.Deltas(v0)
+	if !ok {
+		t.Fatal("history truncated")
+	}
+	oldToNew, newIDs, newN, ok := ComposeDeltas(4, deltas)
+	if !ok {
+		t.Fatal("compose failed")
+	}
+	if newN != ds.N() {
+		t.Fatalf("composed n=%d, dataset n=%d", newN, ds.N())
+	}
+	wantMap := []int{0, -1, 1, 2}
+	wantNew := []int{3, 4}
+	if !reflect.DeepEqual(oldToNew, wantMap) || !reflect.DeepEqual(newIDs, wantNew) {
+		t.Fatalf("compose = %v / %v, want %v / %v", oldToNew, newIDs, wantMap, wantNew)
+	}
+	// Cross-check against the values: survivors keep their content.
+	for oldID, newID := range oldToNew {
+		if newID < 0 {
+			continue
+		}
+		if got := ds.Value(newID, 0); got != float64(oldID) {
+			t.Fatalf("old row %d mapped to new row %d with value %v", oldID, newID, got)
+		}
+	}
+	// Rewrites refuse composition.
+	ds.Normalize()
+	deltas, _ = ds.Deltas(v0)
+	if _, _, _, ok := ComposeDeltas(4, deltas); ok {
+		t.Fatal("compose across a rewrite must fail")
+	}
+}
+
+func TestColumnMajorAppendRepair(t *testing.T) {
+	rng := xrand.New(7)
+	ds := Independent(rng, 50, 3)
+	_ = ds.ColumnMajor()
+	old := ds.ColumnMajor()
+	row := []float64{0.25, 0.5, 0.75}
+	ds.Append(row)
+	cols := ds.ColumnMajor()
+	n := ds.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < ds.Dim(); j++ {
+			if cols[j*n+i] != ds.Value(i, j) {
+				t.Fatalf("repaired mirror (%d,%d) = %v, want %v", i, j, cols[j*n+i], ds.Value(i, j))
+			}
+		}
+	}
+	// The pre-append mirror is untouched and still valid for its rows.
+	n0 := n - 1
+	for i := 0; i < n0; i++ {
+		for j := 0; j < ds.Dim(); j++ {
+			if old[j*n0+i] != ds.Value(i, j) {
+				t.Fatalf("old mirror mutated at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Deletes invalidate; the rebuilt mirror matches again.
+	if err := ds.Delete([]int{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	cols = ds.ColumnMajor()
+	n = ds.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < ds.Dim(); j++ {
+			if cols[j*n+i] != ds.Value(i, j) {
+				t.Fatalf("post-delete mirror (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFingerprintPathIndependence(t *testing.T) {
+	// Same logical content via different mutation paths ⇒ same fingerprint.
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	b := MustFromRows([][]float64{{9, 9}, {1, 2}, {3, 4}})
+	if err := b.Delete([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	b.Append([]float64{5, 6})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ for equal content: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Version() == b.Version() {
+		t.Fatal("test should exercise distinct version counters")
+	}
+}

@@ -6,6 +6,177 @@ import (
 	"testing"
 )
 
+// FuzzDatasetMutate drives an arbitrary append/delete program against a
+// dataset and a shadow row list, checking the mutation layer's invariants:
+// content matches the shadow after every program, the version counter is
+// strictly monotone, the fingerprint equals that of a fresh dataset built
+// from the same content (no mutation-path dependence), and the delta log
+// composes back to an exact old-row -> new-row mapping from any mid-program
+// checkpoint.
+func FuzzDatasetMutate(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0x03})
+	f.Add([]byte{0xff, 0xfe, 0x80, 0x80, 0x11, 0x22, 0x33})
+	f.Add([]byte{0x90})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const d = 2
+		ds := MustFromRows([][]float64{{0.5, 0.5}, {0.25, 0.75}, {1, 0}})
+		shadow := [][]float64{{0.5, 0.5}, {0.25, 0.75}, {1, 0}}
+
+		var (
+			ckptRows []([]float64)
+			ckptV    uint64
+			haveCkpt bool
+		)
+		prevV := ds.Version()
+		for i, op := range ops {
+			switch {
+			case op < 0x80: // append a row derived from the opcode
+				row := []float64{float64(op) / 128, float64(i%7) / 7}
+				ds.Append(row)
+				shadow = append(shadow, row)
+			case op < 0xf0: // delete op-derived ids
+				if len(shadow) == 0 {
+					continue
+				}
+				ids := []int{int(op) % len(shadow)}
+				if op%3 == 0 {
+					ids = append(ids, int(op/3)%len(shadow), int(op)%len(shadow))
+				}
+				if err := ds.Delete(ids); err != nil {
+					t.Fatalf("op %d: delete %v rejected: %v", i, ids, err)
+				}
+				drop := map[int]bool{}
+				for _, id := range ids {
+					drop[id] = true
+				}
+				kept := shadow[:0]
+				for j, r := range shadow {
+					if !drop[j] {
+						kept = append(kept, r)
+					}
+				}
+				shadow = kept
+			default: // set the compose checkpoint (first occurrence wins)
+				if !haveCkpt {
+					haveCkpt = true
+					ckptV = ds.Version()
+					ckptRows = append([][]float64(nil), shadow...)
+				}
+			}
+			if v := ds.Version(); v < prevV {
+				t.Fatalf("op %d: version went backwards: %d -> %d", i, prevV, v)
+			} else {
+				prevV = v
+			}
+		}
+
+		if ds.N() != len(shadow) {
+			t.Fatalf("n=%d, shadow=%d", ds.N(), len(shadow))
+		}
+		for i := range shadow {
+			for j := 0; j < d; j++ {
+				if ds.Value(i, j) != shadow[i][j] {
+					t.Fatalf("content diverged at (%d,%d)", i, j)
+				}
+			}
+		}
+		if len(shadow) > 0 {
+			fresh := MustFromRows(shadow)
+			if fresh.Fingerprint() != ds.Fingerprint() {
+				t.Fatal("fingerprint depends on mutation path")
+			}
+		}
+
+		if !haveCkpt {
+			return
+		}
+		deltas, ok := ds.Deltas(ckptV)
+		if !ok {
+			return // log truncated: legitimately unanswerable
+		}
+		oldToNew, newIDs, newN, ok := ComposeDeltas(len(ckptRows), deltas)
+		if !ok {
+			t.Fatalf("append/delete-only history failed to compose: %+v", deltas)
+		}
+		if newN != ds.N() {
+			t.Fatalf("composed n=%d, dataset n=%d", newN, ds.N())
+		}
+		seen := map[int]bool{}
+		for old, now := range oldToNew {
+			if now < 0 {
+				continue
+			}
+			if seen[now] {
+				t.Fatalf("two old rows map to new row %d", now)
+			}
+			seen[now] = true
+			for j := 0; j < d; j++ {
+				if ds.Value(now, j) != ckptRows[old][j] {
+					t.Fatalf("mapped row %d->%d changed value", old, now)
+				}
+			}
+		}
+		for _, id := range newIDs {
+			if seen[id] {
+				t.Fatalf("new row %d also claimed by the mapping", id)
+			}
+			seen[id] = true
+		}
+		if len(seen) != newN {
+			t.Fatalf("mapping + new rows cover %d of %d rows", len(seen), newN)
+		}
+	})
+}
+
+// FuzzFingerprintStability checks the fingerprint is a pure function of
+// content for snapshot chains as well: a chain of snapshot+mutate steps and
+// a directly-constructed dataset with the same final rows always agree, and
+// mutating a snapshot never disturbs its source.
+func FuzzFingerprintStability(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{0x81})
+	f.Add([]byte{9}, []byte{0x01, 0x85, 0x02})
+	f.Fuzz(func(t *testing.T, initial, ops []byte) {
+		if len(initial) == 0 {
+			return
+		}
+		rows := make([][]float64, 0, len(initial))
+		for i, b := range initial {
+			rows = append(rows, []float64{float64(b) / 255, float64(i) / 16})
+		}
+		cur := MustFromRows(rows)
+		base := cur
+		baseFP := base.Fingerprint()
+		for i, op := range ops {
+			next := cur.Snapshot()
+			if op < 0x80 {
+				row := []float64{float64(op) / 128, float64(i) / 8}
+				next.Append(row)
+				rows = append(rows, row)
+			} else {
+				if len(rows) <= 1 {
+					continue
+				}
+				id := int(op) % len(rows)
+				if err := next.Delete([]int{id}); err != nil {
+					t.Fatal(err)
+				}
+				rows = append(rows[:id], rows[id+1:]...)
+			}
+			cur = next
+		}
+		if base.Fingerprint() != baseFP || base.N() != len(initial) {
+			t.Fatal("mutating snapshots disturbed their source")
+		}
+		if len(rows) == 0 {
+			return
+		}
+		if got, want := cur.Fingerprint(), MustFromRows(rows).Fingerprint(); got != want {
+			t.Fatalf("snapshot-chain fingerprint %016x != direct-build %016x", got, want)
+		}
+	})
+}
+
 // FuzzReadCSV checks the CSV reader never panics and that every accepted
 // input round-trips through WriteCSV back to an equal dataset.
 func FuzzReadCSV(f *testing.F) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled relaxes timing assertions when the race detector multiplies
+// every memory access cost.
+const raceEnabled = true

@@ -187,6 +187,7 @@ type Scheduler struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // retention FIFO of finished job ids
+	retain   int      // finished-job history cap (maxRetainedJobs by default)
 	seq      uint64
 	closed   bool
 
@@ -213,6 +214,7 @@ func NewScheduler(eng *Engine, workers, queueCap int) *Scheduler {
 		baseCtx: ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*job),
+		retain:  maxRetainedJobs,
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -276,7 +278,7 @@ func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
 	}
 	s.mu.Lock()
 	s.finished = append(s.finished, j.id)
-	for len(s.finished) > maxRetainedJobs {
+	for len(s.finished) > s.retain {
 		delete(s.jobs, s.finished[0])
 		s.finished = s.finished[1:]
 	}

@@ -24,29 +24,46 @@ import (
 // extension work), so a dogpile of identical cold solves performs exactly
 // one build. Sampler-backed solves have no cacheable identity and must not
 // be routed here — the engine wiring enforces that.
+//
+// The tier is delta-aware: alongside the exact fingerprint-keyed lookup it
+// maintains an identity index keyed by dataset lineage. When a solve arrives
+// for a new version of a dataset whose previous version has a cached entry,
+// and the dataset's delta log spans the gap without a rewrite, the new entry
+// is seeded as an incremental repair of the old one (appended rows merged
+// into the per-vector top-K lists, tombstoned rows remapped or re-selected)
+// instead of a cold rebuild. The old entry is never modified, so solves
+// pinned to the old version keep hitting it.
 type VecSetCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recent
-	items map[string]*list.Element
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent
+	items   map[string]*list.Element
+	byIdent map[string]*list.Element // newest entry per dataset identity
 
 	builds     atomic.Uint64
 	extensions atomic.Uint64
 	reuses     atomic.Uint64
+	repairs    atomic.Uint64
 }
 
 type vecsetEntry struct {
-	key    string
-	shared *algohd.SharedVecSet
+	key     string
+	ident   string // identity key: salt|lineage|space|gamma|seed
+	fp      uint64 // dataset fingerprint at entry creation
+	version uint64 // dataset version at entry creation
+	shared  *algohd.SharedVecSet
 }
 
 // VecSetStats is a snapshot of the VecSet-tier counters. Reuses counts
 // solves served entirely from an existing entry; Extensions counts solves
-// that reused the grid and sample prefix but had to draw further samples.
+// that reused the grid and sample prefix but had to draw further samples;
+// Repairs counts solves whose entry was materialized by incrementally
+// repairing a previous version's entry across the dataset's delta log.
 type VecSetStats struct {
 	Builds     uint64 `json:"builds"`
 	Extensions uint64 `json:"extensions"`
 	Reuses     uint64 `json:"reuses"`
+	Repairs    uint64 `json:"repairs"`
 	Len        int    `json:"len"`
 	Cap        int    `json:"cap"`
 }
@@ -62,17 +79,26 @@ func NewVecSetCache(capacity int) *VecSetCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &VecSetCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &VecSetCache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		byIdent: make(map[string]*list.Element),
+	}
 }
 
 // Acquire returns a vector-set view for the solve described by opts with m
-// sampled directions, creating or extending the underlying shared set as
-// needed. Evicting an entry never invalidates views already handed out.
+// sampled directions, creating, repairing, or extending the underlying
+// shared set as needed. Evicting an entry never invalidates views already
+// handed out.
 func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Options, m int) (*algohd.VecSet, error) {
 	ho := opts.hd()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%016x|%s|%d|%d", opts.CacheSalt, ds.Fingerprint(), opts.spaceKey(), ho.EffectiveGamma(), opts.Seed)
 	key := b.String()
+	var ib strings.Builder
+	fmt.Fprintf(&ib, "%s|%d|%s|%d|%d", opts.CacheSalt, ds.Lineage(), opts.spaceKey(), ho.EffectiveGamma(), opts.Seed)
+	ident := ib.String()
 
 	c.mu.Lock()
 	var shared *algohd.SharedVecSet
@@ -80,12 +106,30 @@ func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Opt
 		c.ll.MoveToFront(el)
 		shared = el.Value.(*vecsetEntry).shared
 	} else {
-		shared = algohd.NewSharedVecSet(ds, ho.Space, ho.EffectiveGamma(), opts.Seed, ho.Sampler)
-		c.items[key] = c.ll.PushFront(&vecsetEntry{key: key, shared: shared})
+		if prev := c.repairSource(ident, ds); prev != nil {
+			if deltas, ok := ds.Deltas(prev.version); ok && repairable(deltas) {
+				// Lazy: the actual repair (or its fallback cold build) runs
+				// on first Acquire of the new shared set, outside this lock.
+				shared = algohd.NewRepairedVecSet(prev.shared, ds, deltas)
+			}
+		}
+		if shared == nil {
+			shared = algohd.NewSharedVecSet(ds, ho.Space, ho.EffectiveGamma(), opts.Seed, ho.Sampler)
+		}
+		e := &vecsetEntry{key: key, ident: ident, fp: ds.Fingerprint(), version: ds.Version(), shared: shared}
+		el := c.ll.PushFront(e)
+		c.items[key] = el
+		if cur, ok := c.byIdent[ident]; !ok || cur.Value.(*vecsetEntry).version <= e.version {
+			c.byIdent[ident] = el
+		}
 		if c.ll.Len() > c.cap {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*vecsetEntry).key)
+			old := oldest.Value.(*vecsetEntry)
+			delete(c.items, old.key)
+			if c.byIdent[old.ident] == oldest {
+				delete(c.byIdent, old.ident)
+			}
 		}
 	}
 	// The build itself runs outside the cache lock; SharedVecSet coalesces
@@ -101,13 +145,48 @@ func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Opt
 		c.builds.Add(1)
 	case algohd.VecSetExtended:
 		c.extensions.Add(1)
+	case algohd.VecSetRepaired:
+		c.repairs.Add(1)
 	default:
 		c.reuses.Add(1)
 	}
 	return vs, nil
 }
 
-// Stats snapshots the build/extension/reuse counters and occupancy.
+// repairSource returns the identity index's entry for ds's lineage when it
+// is a usable repair source: a strictly older version whose shared set still
+// holds the data it was keyed with (a fingerprint mismatch means the old
+// snapshot was mutated in place — the snapshot discipline was broken — and
+// repairing from it would poison results). Called with c.mu held.
+func (c *VecSetCache) repairSource(ident string, ds *dataset.Dataset) *vecsetEntry {
+	el, ok := c.byIdent[ident]
+	if !ok {
+		return nil
+	}
+	prev := el.Value.(*vecsetEntry)
+	if prev.version >= ds.Version() {
+		return nil
+	}
+	if prev.shared.Dataset().Fingerprint() != prev.fp {
+		return nil
+	}
+	return prev
+}
+
+// repairable reports whether a delta window can be repaired across at all:
+// rewrites (Normalize, Shift, Negate, SetAttrs) change every value and force
+// a rebuild. Churn-based declines are judged later, inside the lazy repair,
+// where the committed lists are visible.
+func repairable(deltas []dataset.Delta) bool {
+	for _, d := range deltas {
+		if d.Kind == dataset.DeltaRewrite {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats snapshots the build/extension/reuse/repair counters and occupancy.
 func (c *VecSetCache) Stats() VecSetStats {
 	c.mu.Lock()
 	length, capacity := c.ll.Len(), c.cap
@@ -116,6 +195,7 @@ func (c *VecSetCache) Stats() VecSetStats {
 		Builds:     c.builds.Load(),
 		Extensions: c.extensions.Load(),
 		Reuses:     c.reuses.Load(),
+		Repairs:    c.repairs.Load(),
 		Len:        length,
 		Cap:        capacity,
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package simulate
+
+// raceEnabled shortens the acceptance run under the race detector, which
+// multiplies the cost of every scoring pass.
+const raceEnabled = true

@@ -1,0 +1,327 @@
+// Package simulate is the differential test harness for dynamic datasets: a
+// seeded workload generator that interleaves appends, deletes, solves,
+// parameter sweeps, and version-pinned re-solves across the registered
+// solvers, asserting after every mutation that the incremental serving path
+// — snapshot chains, delta-log repairs of the engine's VecSet tier, and both
+// cache tiers — produces results byte-identical to a from-scratch rebuild.
+//
+// The incremental side is one long-lived engine with caching enabled,
+// solving over a snapshot chain exactly as rrmd's registry does. The
+// reference side rebuilds the dataset from the raw rows (a fresh lineage, so
+// no cache can possibly help) and solves on a cache-disabled engine. Any
+// divergence — a stale top-K list, a wrong id remap after a delete, a
+// fingerprint that depends on mutation path — surfaces as a step-numbered
+// mismatch. Incremental-vs-rebuild equivalence is exactly the kind of claim
+// that rots silently; this harness is its regression guard.
+package simulate
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"slices"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// Config parameterizes one simulation run. The zero value is not usable;
+// see Default.
+type Config struct {
+	// Seed drives the whole workload (and the solver randomness).
+	Seed int64
+	// Steps is how many workload steps to execute. Every mutation step is
+	// followed by a differential check, so the number of incremental-vs-
+	// rebuild comparisons is at least the number of mutations.
+	Steps int
+	// Dim is the dataset dimensionality; 2 additionally exercises the exact
+	// 2D solvers.
+	Dim int
+	// InitRows / MinRows / MaxRows bound the dataset size as the workload
+	// appends and deletes.
+	InitRows, MinRows, MaxRows int
+	// Algorithms to exercise (round-robin); nil = every registered solver
+	// applicable to Dim.
+	Algorithms []string
+	// Retain is how many old (version, rows) snapshots stay available for
+	// pinned re-solves, mirroring rrmd's retention.
+	Retain int
+	// Samples fixes the HDRRM-family sample count so runtime stays bounded
+	// and sweeps share one discretization (0 = 200).
+	Samples int
+	// ConcurrentProbes > 0 runs each solve step's incremental solve that
+	// many extra times on concurrent goroutines (same engine) and requires
+	// every copy to agree — flight coalescing and repair under contention.
+	ConcurrentProbes int
+}
+
+// Default returns the CI-scale configuration: small enough for a -race run,
+// large enough that append repair, delete repair (both under and over the
+// churn threshold), rebuild fallbacks, sweeps, and pinned solves all occur.
+func Default(seed int64, dim int) Config {
+	return Config{
+		Seed:             seed,
+		Steps:            260,
+		Dim:              dim,
+		InitRows:         90,
+		MinRows:          40,
+		MaxRows:          170,
+		Retain:           6,
+		Samples:          200,
+		ConcurrentProbes: 2,
+	}
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Steps, Appends, Deletes int
+	Solves, Sweeps, Pinned  int
+	Checks                  int
+	VecSets                 engine.VecSetStats
+	Solutions               engine.CacheStats
+	// Digest folds every compared solution into one value: two runs with
+	// the same Config must produce the same digest (the golden property).
+	Digest uint64
+}
+
+// retained is one pinned version: the immutable snapshot plus the raw rows
+// it was built from, for the from-scratch reference rebuild.
+type retained struct {
+	snap *dataset.Dataset
+	rows [][]float64
+}
+
+// Run executes the workload and returns its stats, or an error naming the
+// first divergent step. A ctx cancellation aborts early with its error.
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.Steps <= 0 || cfg.Dim < 2 || cfg.InitRows < 2 {
+		return Stats{}, fmt.Errorf("simulate: bad config %+v", cfg)
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 200
+	}
+	algos := cfg.Algorithms
+	if algos == nil {
+		for _, a := range engine.Algorithms() {
+			if cfg.Dim != 2 && (a == engine.AlgoTwoDRRM || a == engine.AlgoTwoDRRR) {
+				continue
+			}
+			algos = append(algos, a)
+		}
+	}
+	if len(algos) == 0 {
+		return Stats{}, fmt.Errorf("simulate: no algorithms for dim %d", cfg.Dim)
+	}
+
+	rng := xrand.New(cfg.Seed)
+	opts := engine.Options{Seed: cfg.Seed*2 + 1, Samples: samples, Gamma: 3}
+
+	// Master state: the logical rows, the incremental snapshot chain, and
+	// the long-lived caching engine under test.
+	rows := make([][]float64, 0, cfg.MaxRows)
+	for i := 0; i < cfg.InitRows; i++ {
+		rows = append(rows, randomRow(rng, cfg.Dim))
+	}
+	cur, err := dataset.FromRows(rows)
+	if err != nil {
+		return Stats{}, err
+	}
+	inc := engine.New(0)
+	ref := engine.New(-1) // caching disabled: every reference solve is cold
+
+	var st Stats
+	digest := fnv.New64a()
+	history := []retained{{snap: cur, rows: slices.Clone(rows)}}
+	algoAt := 0
+
+	// check solves (mode, rk) on the incremental engine over ds and on the
+	// reference engine over a from-scratch rebuild of wantRows, and requires
+	// byte-identical solutions.
+	check := func(step int, ds *dataset.Dataset, wantRows [][]float64, algo string, mode engine.Mode, rk int, probes int) error {
+		st.Checks++
+		refDS, err := dataset.FromRows(wantRows)
+		if err != nil {
+			return fmt.Errorf("step %d: rebuilding reference: %w", step, err)
+		}
+		run := func(e *engine.Engine, d *dataset.Dataset) (*engine.Solution, error) {
+			if mode == engine.ModeRRR {
+				return e.SolveRRR(ctx, d, rk, algo, opts)
+			}
+			return e.Solve(ctx, d, rk, algo, opts)
+		}
+		got, gotErr := run(inc, ds)
+		want, wantErr := run(ref, refDS)
+		if (gotErr == nil) != (wantErr == nil) {
+			return fmt.Errorf("step %d %s/%s rk=%d: incremental err=%v, rebuild err=%v", step, algo, mode, rk, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Both sides rejected identically (e.g. RRR infeasible): that is
+			// agreement; fold the error into the digest and move on.
+			fmt.Fprintf(digest, "%d|%s|%s|%d|err\n", step, algo, mode, rk)
+			return nil
+		}
+		if !slices.Equal(got.IDs, want.IDs) || got.RankRegret != want.RankRegret || got.Exact != want.Exact {
+			return fmt.Errorf("step %d %s/%s rk=%d on n=%d v%d: incremental %v (rr=%d) != rebuild %v (rr=%d)",
+				step, algo, mode, rk, ds.N(), ds.Version(), got.IDs, got.RankRegret, want.IDs, want.RankRegret)
+		}
+		for p := 0; p < probes; p++ {
+			type res struct {
+				sol *engine.Solution
+				err error
+			}
+			ch := make(chan res, 2)
+			for g := 0; g < 2; g++ {
+				go func() {
+					s, err := run(inc, ds)
+					ch <- res{s, err}
+				}()
+			}
+			for g := 0; g < 2; g++ {
+				r := <-ch
+				if r.err != nil {
+					return fmt.Errorf("step %d concurrent probe: %w", step, r.err)
+				}
+				if !slices.Equal(r.sol.IDs, got.IDs) || r.sol.RankRegret != got.RankRegret {
+					return fmt.Errorf("step %d concurrent probe diverged: %v vs %v", step, r.sol.IDs, got.IDs)
+				}
+			}
+		}
+		fmt.Fprintf(digest, "%d|%s|%s|%d|%v|%d\n", step, algo, mode, rk, got.IDs, got.RankRegret)
+		return nil
+	}
+
+	// nextAlgo round-robins so every solver sees every workload phase.
+	nextAlgo := func() string {
+		a := algos[algoAt%len(algos)]
+		algoAt++
+		return a
+	}
+	// pickMode returns a dual solve for the solvers that support it, every
+	// fourth time.
+	pickMode := func(algo string) (engine.Mode, int) {
+		dual := algo == engine.AlgoHDRRM || (algo == engine.AlgoTwoDRRM && cfg.Dim == 2)
+		if dual && rng.Intn(4) == 0 {
+			return engine.ModeRRR, 1 + rng.Intn(4)
+		}
+		return engine.ModeRRM, 1 + rng.Intn(6)
+	}
+
+	publish := func(next *dataset.Dataset) {
+		cur = next
+		history = append(history, retained{snap: next, rows: slices.Clone(rows)})
+		if retain := max(cfg.Retain, 1); len(history) > retain {
+			history = slices.Clone(history[len(history)-retain:])
+		}
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		if ctx != nil && ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		st.Steps++
+		action := rng.Intn(10)
+		switch {
+		case action < 3 && len(rows) < cfg.MaxRows: // append burst
+			st.Appends++
+			next := cur.Snapshot()
+			for i, burst := 0, 1+rng.Intn(6); i < burst && len(rows) < cfg.MaxRows; i++ {
+				row := randomRow(rng, cfg.Dim)
+				rows = append(rows, row)
+				next.Append(row)
+			}
+			publish(next)
+		case action < 5 && len(rows) > cfg.MinRows: // delete burst
+			st.Deletes++
+			next := cur.Snapshot()
+			burst := 1 + rng.Intn(3)
+			ids := make([]int, 0, burst)
+			for i := 0; i < burst; i++ {
+				ids = append(ids, rng.Intn(len(rows)))
+			}
+			if err := next.Delete(ids); err != nil {
+				return st, fmt.Errorf("step %d: delete %v: %w", step, ids, err)
+			}
+			rows = deleteRows(rows, ids)
+			publish(next)
+		case action < 7: // parameter sweep on the current version
+			st.Sweeps++
+			algo := nextAlgo()
+			for r := 1; r <= 4; r++ {
+				if err := check(step, cur, rows, algo, engine.ModeRRM, r, 0); err != nil {
+					return st, err
+				}
+			}
+			continue
+		case action < 8 && len(history) > 1: // pinned solve on an old version
+			st.Pinned++
+			old := history[rng.Intn(len(history)-1)]
+			algo := nextAlgo()
+			mode, rk := pickMode(algo)
+			if err := check(step, old.snap, old.rows, algo, mode, rk, 0); err != nil {
+				return st, err
+			}
+			continue
+		default: // plain solve on the current version
+			st.Solves++
+			algo := nextAlgo()
+			mode, rk := pickMode(algo)
+			if err := check(step, cur, rows, algo, mode, rk, cfg.ConcurrentProbes); err != nil {
+				return st, err
+			}
+			continue
+		}
+
+		// After every mutation: structural invariants, then a differential
+		// solve. The fingerprint must depend on content only, never on the
+		// mutation path that produced it.
+		if cur.N() != len(rows) {
+			return st, fmt.Errorf("step %d: dataset n=%d, shadow rows=%d", step, cur.N(), len(rows))
+		}
+		refDS, err := dataset.FromRows(rows)
+		if err != nil {
+			return st, err
+		}
+		if cur.Fingerprint() != refDS.Fingerprint() {
+			return st, fmt.Errorf("step %d: fingerprint diverged from content (mutation-path dependence)", step)
+		}
+		algo := nextAlgo()
+		mode, rk := pickMode(algo)
+		if err := check(step, cur, rows, algo, mode, rk, 0); err != nil {
+			return st, err
+		}
+	}
+
+	st.VecSets = inc.VecSetStats()
+	st.Solutions = inc.CacheStats()
+	st.Digest = digest.Sum64()
+	return st, nil
+}
+
+func randomRow(rng *xrand.Rand, d int) []float64 {
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.Float64()
+	}
+	return row
+}
+
+// deleteRows removes the (possibly duplicated, unordered) ids from rows,
+// mirroring Dataset.Delete's semantics on the shadow copy.
+func deleteRows(rows [][]float64, ids []int) [][]float64 {
+	drop := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	out := rows[:0]
+	for i, r := range rows {
+		if !drop[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

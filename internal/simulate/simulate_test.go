@@ -1,0 +1,107 @@
+package simulate
+
+import (
+	"context"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/engine"
+)
+
+// TestSimulateDifferential is the acceptance run: 500+ seeded workload steps
+// across both dimensionalities (d=2 adds the exact solvers), every mutation
+// followed by an incremental-vs-rebuild comparison, with the incremental
+// side required to actually exercise the repair path.
+func TestSimulateDifferential(t *testing.T) {
+	ctx := context.Background()
+	total := 0
+	for _, dim := range []int{3, 2} {
+		cfg := Default(11, dim)
+		if raceEnabled {
+			cfg.Steps = 120 // the detector multiplies every scoring pass
+		}
+		st, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("d=%d: %v", dim, err)
+		}
+		total += st.Steps
+		t.Logf("d=%d: %+v", dim, st)
+		if st.Appends == 0 || st.Deletes == 0 || st.Sweeps == 0 || st.Pinned == 0 || st.Solves == 0 {
+			t.Fatalf("d=%d: workload failed to cover every step kind: %+v", dim, st)
+		}
+		if st.Checks < st.Appends+st.Deletes {
+			t.Fatalf("d=%d: fewer checks than mutations: %+v", dim, st)
+		}
+		if st.VecSets.Repairs == 0 {
+			t.Fatalf("d=%d: the incremental engine never repaired a VecSet: %+v", dim, st.VecSets)
+		}
+	}
+	if want := 500; !raceEnabled && total < want {
+		t.Fatalf("acceptance requires >= %d steps, ran %d", want, total)
+	}
+}
+
+// TestSimulateGoldenDeterminism is the golden property: the digest folds
+// every compared solution, and an identical config must reproduce it
+// exactly — any nondeterminism in the snapshot chain, the repair path, or a
+// solver would break the equality.
+func TestSimulateGoldenDeterminism(t *testing.T) {
+	cfg := Default(7, 3)
+	cfg.Steps = 80
+	cfg.ConcurrentProbes = 0
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.Checks != b.Checks || a.Steps != b.Steps {
+		t.Fatalf("same seed, different workloads: %+v vs %+v", a, b)
+	}
+	if c, err := Run(context.Background(), Config{
+		Seed: 8, Steps: 80, Dim: 3, InitRows: 90, MinRows: 40, MaxRows: 170,
+		Retain: 6, Samples: 200,
+	}); err != nil {
+		t.Fatal(err)
+	} else if c.Digest == a.Digest {
+		t.Fatal("different seeds produced the same digest (digest is not discriminating)")
+	}
+}
+
+// TestSimulateProperty sweeps random seeds with short runs — the
+// property-mode net for interleavings the fixed acceptance seed misses.
+func TestSimulateProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 13}
+	if raceEnabled || testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := Default(seed, 2+int(seed%2))
+		cfg.Steps = 60
+		if st, err := Run(context.Background(), cfg); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		} else if st.Checks == 0 {
+			t.Errorf("seed %d: no checks ran", seed)
+		}
+	}
+}
+
+// TestSimulateSingleSolver pins the harness on hdrrm only with heavy
+// mutation pressure, the solver whose VecSet tier carries all the
+// incremental state.
+func TestSimulateSingleSolver(t *testing.T) {
+	cfg := Default(19, 4)
+	cfg.Steps = 90
+	cfg.Algorithms = []string{engine.AlgoHDRRM}
+	st, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VecSets.Repairs == 0 {
+		t.Fatalf("hdrrm-only run never repaired: %+v", st.VecSets)
+	}
+}

@@ -45,6 +45,13 @@ func beats(s1 float64, id1 int, s2 float64, id2 int) bool {
 	return id1 < id2
 }
 
+// Beats reports whether entry (s1, id1) ranks strictly before (s2, id2)
+// under the package's deterministic order: higher score first, equal scores
+// to the lower id. It is exported so incremental maintainers of top-K lists
+// (merge repair after dataset mutation) share the exact comparator the
+// builders use and the two can never drift.
+func Beats(s1 float64, id1 int, s2 float64, id2 int) bool { return beats(s1, id1, s2, id2) }
+
 // TopK returns the indices of the k highest-utility tuples under weight
 // vector u, ordered best first. If k >= n it returns the full ranking.
 // Scratch space scores may be nil; pass a reusable buffer to avoid

@@ -47,10 +47,17 @@ import (
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
-// Dataset is an immutable-by-convention row-major matrix of n tuples over d
-// attributes, where on every attribute a larger value is preferred. Use
-// Normalize to map each attribute to [0, 1] (the paper's setting), Negate
-// for smaller-is-better attributes, and Shift to test shift invariance.
+// Dataset is a row-major matrix of n tuples over d attributes, where on
+// every attribute a larger value is preferred. Use Normalize to map each
+// attribute to [0, 1] (the paper's setting), Negate for smaller-is-better
+// attributes, and Shift to test shift invariance.
+//
+// Datasets are versioned and mutable: Append and Delete bump a monotone
+// Version and record structured deltas (Deltas), and Snapshot takes a cheap
+// same-lineage copy, which is how serving layers mutate without disturbing
+// solves in flight. The engine repairs its cached per-vector top-K state
+// incrementally across append/delete deltas, so solves after a small
+// mutation skip most of the cold-build cost with bit-identical results.
 type Dataset = dataset.Dataset
 
 // NewDataset builds a Dataset from rows. All rows must have the same,
