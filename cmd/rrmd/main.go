@@ -1,82 +1,168 @@
 // Command rrmd serves rank-regret minimization queries over HTTP: a
-// named-dataset registry, solver dispatch through the engine's algorithm
-// registry, a shared LRU solution cache, and per-request timeouts.
+// named-dataset registry with durable WAL + snapshot persistence, solver
+// dispatch through the engine's algorithm registry, a shared LRU solution
+// cache, and per-request timeouts.
 //
 // Datasets load from CSV at startup (-load, repeatable) or at runtime
-// (POST /v1/datasets); -demo preloads the paper's simulated datasets.
+// (POST /v1/datasets); -demo preloads the paper's simulated datasets. With
+// -data-dir set, every registry mutation is written ahead to a checksummed
+// WAL and periodically snapshotted, so a restart — graceful or kill -9 —
+// recovers the registered datasets, their retained version histories, and
+// re-warms the engine's VecSet cache in the background.
 //
 //	rrmd -addr :8080 -load cars=cars.csv -header
-//	rrmd -demo
+//	rrmd -demo -data-dir /var/lib/rrmd -fsync always
+//	rrmd -compact -data-dir /var/lib/rrmd   # offline compaction
 //
 //	curl localhost:8080/v1/datasets
 //	curl -X POST localhost:8080/v1/solve -d '{"dataset":"cars","r":5}'
 //
+// SIGTERM/SIGINT drain gracefully: in-flight jobs finish (bounded by
+// -drain-timeout), the WAL is flushed, and a final snapshot is written so
+// the next start recovers replay-free.
+//
 // Endpoints: GET /healthz, GET /v1/algorithms, GET /v1/datasets,
-// POST /v1/datasets, GET /v1/datasets/{name},
+// POST /v1/datasets, GET /v1/datasets/{name}, DELETE /v1/datasets/{name},
 // POST /v1/datasets/{name}/rows, DELETE /v1/datasets/{name}/rows,
 // GET /v1/datasets/{name}/versions, POST /v1/solve, POST /v1/solve/batch,
 // POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
-// GET /v1/metrics, POST /v1/evaluate.
+// GET /v1/metrics, GET /v1/store/status, POST /v1/evaluate.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/cliutil"
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/store"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rrmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the daemon body, parameterized over its argument list so tests can
+// exercise the full lifecycle (flags, recovery, signals) in a subprocess.
+func run(args []string) error {
+	fs := flag.NewFlagSet("rrmd", flag.ContinueOnError)
 	var loads []string
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		header    = flag.Bool("header", false, "loaded CSVs have a header record")
-		negate    = flag.String("negate", "", "comma-separated 0-based columns where smaller is better (applies to all -load files)")
-		normalize = flag.Bool("normalize", true, "min-max normalize attributes to [0,1]")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-request solve timeout ceiling")
-		maxUpload = flag.Int64("max-upload", 64<<20, "maximum POST /v1/datasets body size in bytes")
-		cacheSize = flag.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
-		workers   = flag.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
-		queueCap  = flag.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
-		solvePar  = flag.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
-		retainVer = flag.Int("retain-versions", DefaultRetainVersions, "dataset versions kept solvable per name (older versions age out)")
-		demo      = flag.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
-		seed      = flag.Int64("seed", 1, "seed for -demo dataset generation")
+		addr      = fs.String("addr", ":8080", "listen address")
+		header    = fs.Bool("header", false, "loaded CSVs have a header record")
+		negate    = fs.String("negate", "", "comma-separated 0-based columns where smaller is better (applies to all -load files)")
+		normalize = fs.Bool("normalize", true, "min-max normalize attributes to [0,1]")
+		timeout   = fs.Duration("timeout", 60*time.Second, "per-request solve timeout ceiling")
+		maxUpload = fs.Int64("max-upload", 64<<20, "maximum POST /v1/datasets body size in bytes")
+		cacheSize = fs.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
+		workers   = fs.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
+		queueCap  = fs.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
+		solvePar  = fs.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
+		retainVer = fs.Int("retain-versions", DefaultRetainVersions, "dataset versions kept solvable per name (older versions age out)")
+		demo      = fs.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
+		seed      = fs.Int64("seed", 1, "seed for -demo dataset generation")
+
+		dataDir   = fs.String("data-dir", "", "durable store directory (empty = in-memory only: restarts lose all state)")
+		fsyncPol  = fs.String("fsync", "always", "WAL durability: always (fsync per mutation), never, or a flush interval such as 100ms")
+		snapEvery = fs.Int("snapshot-every", store.DefaultSnapshotEvery, "WAL records between automatic snapshots (negative = only on shutdown/compact)")
+		segBytes  = fs.Int64("segment-bytes", store.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
+		warmStart = fs.Bool("warm-start", true, "rebuild the VecSet cache tier for recovered datasets in the background after a restart")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs and the final snapshot")
+		compact   = fs.Bool("compact", false, "offline mode: recover the store, write a verified snapshot, prune the WAL, print status, and exit")
 	)
-	flag.Func("load", "name=path of a CSV dataset to load at startup (repeatable)", func(v string) error {
+	fs.Func("load", "name=path of a CSV dataset to load at startup (repeatable)", func(v string) error {
 		loads = append(loads, v)
 		return nil
 	})
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as the global flag set did
+		}
+		return err
+	}
 
 	neg, err := cliutil.ParseNegate(*negate)
 	if err != nil {
 		return err
 	}
+	sync, syncIv, err := store.ParseSyncPolicy(*fsyncPol)
+	if err != nil {
+		return err
+	}
+	if *compact && *dataDir == "" {
+		return fmt.Errorf("-compact requires -data-dir")
+	}
 
-	srv := NewServer(*cacheSize, *timeout, *workers, *queueCap)
+	st, err := store.Open(store.Options{
+		Dir:           *dataDir,
+		Retain:        *retainVer,
+		SegmentBytes:  *segBytes,
+		SnapshotEvery: *snapEvery,
+		Sync:          sync,
+		SyncInterval:  syncIv,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		rec := st.Recovery()
+		log.Printf("store: recovered %d datasets from %s (snapshot %d + %d WAL records; torn tail: %v)",
+			rec.Datasets, *dataDir, rec.SnapshotSeq, rec.RecordsReplayed, rec.TornTail)
+	}
+
+	if *compact {
+		err := st.Compact()
+		status, _ := json.MarshalIndent(st.Status(), "", "  ")
+		fmt.Println(string(status))
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	srv := NewServerWith(st, *cacheSize, *timeout, *workers, *queueCap)
 	defer srv.Close()
 	srv.MaxUploadBytes = *maxUpload
 	srv.SolveParallelism = *solvePar
 	srv.RetainVersions = *retainVer
+	// Startup loads must not clobber what recovery just rebuilt: a daemon
+	// restarted with its usual -load/-demo flags keeps the recovered
+	// version history (with every durably-acked mutation) rather than
+	// durably replacing it with a fresh copy of the seed data. Replacing a
+	// recovered dataset is an explicit act: DELETE it, then re-upload.
+	recovered := make(map[string]bool)
+	for _, name := range st.RecoveredNames() {
+		recovered[name] = true
+	}
+	skipRecovered := func(name string) bool {
+		if recovered[name] {
+			log.Printf("dataset %q recovered from %s; skipping startup load (drop it to replace)", name, *dataDir)
+			return true
+		}
+		return false
+	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("bad -load spec %q (want name=path)", spec)
+		}
+		if skipRecovered(name) {
+			continue
 		}
 		ds, err := cliutil.LoadCSVFile(path, *header, neg, *normalize)
 		if err != nil {
@@ -88,17 +174,28 @@ func run() error {
 		log.Printf("loaded dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
 	}
 	if *demo {
-		for name, ds := range map[string]*dataset.Dataset{
-			"simisland":  dataset.SimIsland(xrand.New(*seed), 0),
-			"simnba":     dataset.SimNBA(xrand.New(*seed), 0),
-			"simweather": dataset.SimWeather(xrand.New(*seed), 0),
+		for name, gen := range map[string]func(*xrand.Rand, int) *dataset.Dataset{
+			"simisland":  dataset.SimIsland,
+			"simnba":     dataset.SimNBA,
+			"simweather": dataset.SimWeather,
 		} {
+			if skipRecovered(name) {
+				continue
+			}
+			ds := gen(xrand.New(*seed), 0)
 			if err := srv.AddDataset(name, ds); err != nil {
 				return err
 			}
 			log.Printf("loaded demo dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
 		}
 	}
+	if recovered := st.RecoveredNames(); *warmStart && len(recovered) > 0 {
+		log.Printf("warm-start: priming caches for %d recovered datasets in the background", len(recovered))
+		go srv.WarmStart(recovered)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	log.Printf("rrmd listening on %s (timeout=%s)", *addr, *timeout)
 	hs := &http.Server{
@@ -109,5 +206,25 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("rrmd: draining (budget %s): waiting for in-flight work, then flushing the store", *drainTO)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Stop accepting requests and wait for in-flight handlers first, so the
+	// scheduler drain below sees every job that will ever be submitted.
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("rrmd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("rrmd: drain: %v", err)
+	}
+	log.Printf("rrmd: shutdown complete")
+	return nil
 }

@@ -5,8 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -15,79 +15,24 @@ import (
 	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/eval"
 	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/store"
 )
 
 // DefaultRetainVersions is how many dataset versions (including the current
 // one) the registry keeps solvable by default. Older versions age out;
 // in-flight solves pinned to an aged-out version still finish — they hold
 // the snapshot — but new requests for it are rejected.
-const DefaultRetainVersions = 8
+const DefaultRetainVersions = store.DefaultRetain
 
-// namedDataset is one registry entry: the retained version history of a
-// logical dataset, newest last. Mutations snapshot the newest version, apply
-// the change, and publish the snapshot as the new current, so every retained
-// version is immutable once listed and version-pinned solves stay
-// consistent no matter what mutates afterwards.
-type namedDataset struct {
-	mu       sync.Mutex
-	versions []*dataset.Dataset
-}
-
-func (nd *namedDataset) current() *dataset.Dataset {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	return nd.versions[len(nd.versions)-1]
-}
-
-// at resolves a pinned version (0 = current).
-func (nd *namedDataset) at(version uint64) (*dataset.Dataset, bool) {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	if version == 0 {
-		return nd.versions[len(nd.versions)-1], true
-	}
-	for _, ds := range nd.versions {
-		if ds.Version() == version {
-			return ds, true
-		}
-	}
-	return nil, false
-}
-
-// list returns the retained versions, oldest first.
-func (nd *namedDataset) list() []*dataset.Dataset {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	return append([]*dataset.Dataset(nil), nd.versions...)
-}
-
-// mutate applies f to a snapshot of the current version and, on success,
-// publishes the snapshot as the new current, trimming history past retain.
-// On error nothing is published.
-func (nd *namedDataset) mutate(retain int, f func(*dataset.Dataset) error) (*dataset.Dataset, error) {
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	next := nd.versions[len(nd.versions)-1].Snapshot()
-	if err := f(next); err != nil {
-		return nil, err
-	}
-	nd.versions = append(nd.versions, next)
-	if retain < 1 {
-		retain = 1
-	}
-	if len(nd.versions) > retain {
-		nd.versions = append([]*dataset.Dataset(nil), nd.versions[len(nd.versions)-retain:]...)
-	}
-	return next, nil
-}
-
-// Server is the rrmd serving core: a named-dataset registry (with retained
-// version history and a mutation API) in front of a solver engine and its
-// job scheduler. It is safe for concurrent use; every handler may run on
-// many goroutines at once.
+// Server is the rrmd serving core: a durable named-dataset registry (with
+// retained version history and a mutation API, backed by internal/store's
+// WAL + snapshots when a data directory is configured) in front of a solver
+// engine and its job scheduler. It is safe for concurrent use; every
+// handler may run on many goroutines at once.
 type Server struct {
 	eng        *engine.Engine
 	sched      *engine.Scheduler
+	store      *store.Store
 	maxTimeout time.Duration
 
 	// MaxUploadBytes bounds the size of a POST /v1/datasets body.
@@ -102,35 +47,79 @@ type Server struct {
 	SolveParallelism int
 
 	// RetainVersions caps each dataset's retained version history
-	// (DefaultRetainVersions when 0 or negative at first use).
+	// (DefaultRetainVersions when 0 or negative at first use). Keep it
+	// equal to the store's replay retain, or recovery will rebuild a
+	// differently-sized window.
 	RetainVersions int
 
-	mu       sync.RWMutex
-	datasets map[string]*namedDataset
+	// warm tracks the background warm-start per dataset name; warmCtx is
+	// cancelled by Close/Shutdown so an abandoned warm stops mid-solve.
+	warmMu     sync.Mutex
+	warm       map[string]string
+	warmCtx    context.Context
+	warmCancel context.CancelFunc
 }
 
-// NewServer returns a Server with its own engine (cacheSize 0 = engine
-// default), a per-request timeout ceiling (0 = 60s), and a job scheduler
-// with the given worker count (0 = GOMAXPROCS) and queue capacity (0 =
-// 256). Call Close when done with the server.
+// NewServer returns a Server with an ephemeral (memory-only) registry. See
+// NewServerWith for the durable variant; all other parameters are as there.
 func NewServer(cacheSize int, maxTimeout time.Duration, workers, queueCap int) *Server {
+	st, err := store.Open(store.Options{})
+	if err != nil {
+		// An ephemeral open touches no I/O; it cannot fail.
+		panic(err)
+	}
+	return NewServerWith(st, cacheSize, maxTimeout, workers, queueCap)
+}
+
+// NewServerWith returns a Server over an opened store — the registry every
+// dataset read and mutation goes through — with its own engine (cacheSize
+// 0 = engine default), a per-request timeout ceiling (0 = 60s), and a job
+// scheduler with the given worker count (0 = GOMAXPROCS) and queue capacity
+// (0 = 256). Call Close (or Shutdown) when done with the server; both close
+// the store.
+func NewServerWith(st *store.Store, cacheSize int, maxTimeout time.Duration, workers, queueCap int) *Server {
 	if maxTimeout <= 0 {
 		maxTimeout = 60 * time.Second
 	}
 	eng := engine.New(cacheSize)
+	warmCtx, warmCancel := context.WithCancel(context.Background())
 	return &Server{
 		eng:            eng,
 		sched:          engine.NewScheduler(eng, workers, queueCap),
+		store:          st,
 		maxTimeout:     maxTimeout,
 		MaxUploadBytes: 64 << 20, // 64 MiB
 		RetainVersions: DefaultRetainVersions,
-		datasets:       make(map[string]*namedDataset),
+		warm:           make(map[string]string),
+		warmCtx:        warmCtx,
+		warmCancel:     warmCancel,
 	}
 }
 
-// Close stops the job scheduler, cancelling running jobs and failing queued
-// ones.
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the warm-start, the job scheduler (cancelling running jobs
+// and failing queued ones), and the store. For the graceful variant that
+// finishes in-flight work first, use Shutdown.
+func (s *Server) Close() {
+	s.warmCancel()
+	s.sched.Close()
+	if err := s.store.Close(); err != nil {
+		log.Printf("rrmd: closing store: %v", err)
+	}
+}
+
+// Shutdown drains the server gracefully: no new jobs are accepted, queued
+// and running jobs finish (until ctx expires, after which they are
+// cancelled), the WAL is flushed, and a final snapshot is written so the
+// next start recovers replay-free. HTTP listener shutdown is the caller's
+// concern (do it first, so no new requests arrive mid-drain).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.warmCancel()
+	err := s.sched.Drain(ctx)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // AddDataset registers ds under name, replacing any previous dataset (and
 // its whole version history) with that name.
@@ -156,17 +145,11 @@ func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
 		}
 		ds = fresh
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.datasets[name] = &namedDataset{versions: []*dataset.Dataset{ds}}
-	return nil
+	return s.store.Register(name, ds, s.retain())
 }
 
-func (s *Server) entry(name string) (*namedDataset, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	nd, ok := s.datasets[name]
-	return nd, ok
+func (s *Server) entry(name string) (*store.Versions, bool) {
+	return s.store.Get(name)
 }
 
 func (s *Server) dataset(name string) (*dataset.Dataset, bool) {
@@ -174,7 +157,7 @@ func (s *Server) dataset(name string) (*dataset.Dataset, bool) {
 	if !ok {
 		return nil, false
 	}
-	return nd.current(), true
+	return nd.Current(), true
 }
 
 func (s *Server) retain() int {
@@ -182,6 +165,66 @@ func (s *Server) retain() int {
 		return DefaultRetainVersions
 	}
 	return s.RetainVersions
+}
+
+// WarmStart primes the engine's cache tiers for the given datasets (every
+// registered one when names is nil), sequentially, honoring the server's
+// warm context: after a restart the caches are empty, so warming each
+// recovered dataset in the background pays the cold-solve cliff proactively
+// and the first client solve hits the VecSet reuse path. It blocks; run it
+// in a goroutine for background warming. Per-dataset progress is surfaced
+// in GET /v1/store/status.
+func (s *Server) WarmStart(names []string) {
+	if names == nil {
+		names = s.store.Names()
+	}
+	for _, name := range names {
+		s.setWarm(name, "pending")
+	}
+	for _, name := range names {
+		if s.warmCtx.Err() != nil {
+			s.setWarm(name, "cancelled")
+			continue
+		}
+		nd, ok := s.entry(name)
+		if !ok {
+			s.setWarm(name, "dropped")
+			continue
+		}
+		s.setWarm(name, "warming")
+		start := time.Now()
+		// Defaults mirror engineRequest: same salt, seed, and parallelism,
+		// so the warmed entries are the ones default client solves look up.
+		err := s.eng.Warm(s.warmCtx, nd.Current(), 0, engine.Options{
+			CacheSalt:   name,
+			Seed:        1,
+			Parallelism: s.SolveParallelism,
+		})
+		switch {
+		case err == nil:
+			s.setWarm(name, fmt.Sprintf("warm (%.0fms)", float64(time.Since(start).Microseconds())/1000))
+		case s.warmCtx.Err() != nil:
+			s.setWarm(name, "cancelled")
+		default:
+			s.setWarm(name, "failed: "+err.Error())
+		}
+	}
+}
+
+func (s *Server) setWarm(name, state string) {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	s.warm[name] = state
+}
+
+func (s *Server) warmStatus() map[string]string {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	out := make(map[string]string, len(s.warm))
+	for k, v := range s.warm {
+		out[k] = v
+	}
+	return out
 }
 
 // Handler returns the daemon's HTTP routing table.
@@ -192,6 +235,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleUploadDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDropDataset)
 	mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppendRows)
 	mux.HandleFunc("DELETE /v1/datasets/{name}/rows", s.handleDeleteRows)
 	mux.HandleFunc("GET /v1/datasets/{name}/versions", s.handleVersions)
@@ -202,8 +246,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/store/status", s.handleStoreStatus)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	return mux
+}
+
+// storeErrStatus maps store mutation failures to HTTP statuses: a wedged
+// WAL or a closed store is a server-side durability fault (503, so clients
+// retry elsewhere and alerting keyed on 5xx fires), not a bad request.
+func storeErrStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrWALFailed), errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -219,7 +278,7 @@ func writeOK(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeOK(w, http.StatusOK, map[string]any{"ok": true, "cache": s.eng.CacheStats()})
+	writeOK(w, http.StatusOK, map[string]any{"ok": true, "cache": s.eng.CacheStats(), "metrics": s.metrics()})
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -248,18 +307,12 @@ func info(name string, ds *dataset.Dataset) datasetInfo {
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	names := make([]string, 0, len(s.datasets))
-	entries := make(map[string]*namedDataset, len(s.datasets))
-	for name, nd := range s.datasets {
-		names = append(names, name)
-		entries[name] = nd
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
+	names := s.store.Names()
 	out := make([]datasetInfo, 0, len(names))
 	for _, name := range names {
-		out = append(out, info(name, entries[name].current()))
+		if nd, ok := s.store.Get(name); ok {
+			out = append(out, info(name, nd.Current()))
+		}
 	}
 	writeOK(w, http.StatusOK, map[string]any{"datasets": out})
 }
@@ -300,7 +353,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.AddDataset(name, ds); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, storeErrStatus(err), err)
 		return
 	}
 	writeOK(w, http.StatusCreated, info(name, ds))
@@ -341,26 +394,23 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validate before mutate: a snapshot copies the whole value matrix
-	// under the entry lock, and malformed requests must not pay (or make
+	// under the store lock, and malformed requests must not pay (or make
 	// everyone else wait on) that. Dimension is immutable across versions,
 	// so checking against the current one is exact. Finiteness needs no
 	// check: encoding/json cannot decode NaN/Inf (or out-of-range numbers)
 	// into a float64.
-	dim := nd.current().Dim()
+	dim := nd.Current().Dim()
 	for i, row := range req.Rows {
 		if len(row) != dim {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d attributes, want %d", i, len(row), dim))
 			return
 		}
 	}
-	next, err := nd.mutate(s.retain(), func(ds *dataset.Dataset) error {
-		for _, row := range req.Rows {
-			ds.Append(row)
-		}
-		return nil
-	})
+	// The append hits the WAL (per the fsync policy) before the new version
+	// becomes visible; an error means nothing was published.
+	next, err := s.store.AppendRows(name, req.Rows, s.retain())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, storeErrStatus(err), err)
 		return
 	}
 	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Appended: len(req.Rows)})
@@ -392,31 +442,27 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
 		return
 	}
-	// Cheap pre-check before the snapshot-copying mutate; Delete
-	// re-validates against the authoritative row count inside the lock.
-	n := nd.current().N()
+	// Cheap pre-check before the snapshot-copying mutate; the store
+	// re-validates against the authoritative row count inside its lock.
+	before := nd.Current().N()
 	for _, id := range req.IDs {
-		if id < 0 || id >= n {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("delete index %d out of range [0, %d)", id, n))
+		if id < 0 || id >= before {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("delete index %d out of range [0, %d)", id, before))
 			return
 		}
 	}
-	before := 0
-	next, err := nd.mutate(s.retain(), func(ds *dataset.Dataset) error {
-		before = ds.N()
-		if err := ds.Delete(req.IDs); err != nil {
-			return err
-		}
-		if ds.N() == 0 {
-			return errors.New("refusing to delete every row")
-		}
-		return nil
-	})
+	next, err := s.store.DeleteRows(name, req.IDs, s.retain())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, storeErrStatus(err), err)
 		return
 	}
-	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Deleted: before - next.N()})
+	// The deleted count is the number of unique ids: exact even if another
+	// mutation raced in between the pre-check and the store call.
+	uniq := make(map[int]struct{}, len(req.IDs))
+	for _, id := range req.IDs {
+		uniq[id] = struct{}{}
+	}
+	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Deleted: len(uniq)})
 }
 
 // versionInfo is one entry of GET /v1/datasets/{name}/versions.
@@ -436,7 +482,7 @@ func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
 		return
 	}
-	versions := nd.list()
+	versions := nd.List()
 	out := make([]versionInfo, len(versions))
 	for i, ds := range versions {
 		out[i] = versionInfo{
@@ -519,7 +565,7 @@ func (s *Server) resolve(name, spec string, timeoutMS int64, version uint64) (*d
 	if !ok {
 		return nil, nil, 0, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
 	}
-	ds, ok := nd.at(version)
+	ds, ok := nd.At(version)
 	if !ok {
 		return nil, nil, 0, http.StatusGone, fmt.Errorf("version %d of dataset %q is not retained (see GET /v1/datasets/%s/versions)", version, name, name)
 	}
@@ -751,7 +797,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		"count":      len(items),
 		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
 		"results":    items,
-		"metrics":    s.eng.Metrics(),
+		"metrics":    s.metrics(),
 	})
 }
 
@@ -857,15 +903,57 @@ func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
 	writeOK(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-// handleMetrics reports both engine cache tiers and the scheduler state.
+// serverMetrics is the one metrics shape every surface reports: both engine
+// cache tiers (including the VecSet repairs counter), the scheduler state
+// (including queue depth), the registry size, and the store's durability
+// summary. /v1/metrics, batch responses, and /healthz all serialize this
+// struct, so no surface can drift into reporting partial stats again.
+type serverMetrics struct {
+	Engine    engine.Metrics        `json:"engine"`
+	Scheduler engine.SchedulerStats `json:"scheduler"`
+	Datasets  int                   `json:"datasets"`
+	// Store is the in-memory durability digest (store.Summary); the full
+	// per-segment picture lives at GET /v1/store/status.
+	Store store.Summary `json:"store"`
+}
+
+func (s *Server) metrics() serverMetrics {
+	// Summary, not Status: metrics runs on every health probe and batch
+	// response and must not do filesystem walks under the store lock.
+	return serverMetrics{
+		Engine:    s.eng.Metrics(),
+		Scheduler: s.sched.Stats(),
+		Datasets:  s.store.Len(),
+		Store:     s.store.Summary(),
+	}
+}
+
+// handleMetrics reports the unified server metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	nds := len(s.datasets)
-	s.mu.RUnlock()
+	writeOK(w, http.StatusOK, s.metrics())
+}
+
+// handleDropDataset durably removes a dataset and its whole version
+// history:
+//
+//	DELETE /v1/datasets/{name}
+func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Drop(name); err != nil {
+		writeErr(w, storeErrStatus(err), err)
+		return
+	}
+	writeOK(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// handleStoreStatus reports the durability layer's health — segments,
+// snapshot lag, recovery shape — plus the warm-start progress:
+//
+//	GET /v1/store/status
+func (s *Server) handleStoreStatus(w http.ResponseWriter, r *http.Request) {
 	writeOK(w, http.StatusOK, map[string]any{
-		"engine":    s.eng.Metrics(),
-		"scheduler": s.sched.Stats(),
-		"datasets":  nds,
+		"store":      s.store.Status(),
+		"warm_start": s.warmStatus(),
 	})
 }
 

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -173,6 +174,53 @@ func FuzzFingerprintStability(f *testing.F) {
 		}
 		if got, want := cur.Fingerprint(), MustFromRows(rows).Fingerprint(); got != want {
 			t.Fatalf("snapshot-chain fingerprint %016x != direct-build %016x", got, want)
+		}
+	})
+}
+
+// FuzzDecodeBinary checks the durable decoder never panics (or allocates
+// past its input) on arbitrary bytes, and that every accepted input
+// re-encodes to a stable form: decode -> encode -> decode reproduces the
+// same fingerprint and versioning state.
+func FuzzDecodeBinary(f *testing.F) {
+	seed := New(2)
+	seed.Append([]float64{0.5, 1})
+	seed.Append([]float64{0.25, 0})
+	_ = seed.Delete([]int{0})
+	f.Add(seed.AppendBinary(nil))
+	f.Add(MustFromRows([][]float64{{1, 2, 3}}).AppendBinary(nil))
+	f.Add([]byte{0xD5, 0x01})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, n, err := DecodeBinary(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc := ds.AppendBinary(nil)
+		back, m, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-encoding rejected: %v", err)
+		}
+		if m != len(enc) {
+			t.Fatalf("re-encoding consumed %d of %d bytes", m, len(enc))
+		}
+		if back.Fingerprint() != ds.Fingerprint() ||
+			back.Lineage() != ds.Lineage() ||
+			back.Version() != ds.Version() ||
+			!reflect.DeepEqual(back.log, ds.log) {
+			t.Fatal("decode -> encode -> decode is not a fixed point")
+		}
+		// The ascending-unique invariant of every decoded delete list is
+		// what the gap encoder and the engine's delta repair rely on.
+		for _, d := range ds.log {
+			for k := 1; k < len(d.Deleted); k++ {
+				if d.Deleted[k] <= d.Deleted[k-1] {
+					t.Fatalf("accepted non-ascending deleted ids %v", d.Deleted)
+				}
+			}
 		}
 	})
 }

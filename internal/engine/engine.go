@@ -295,6 +295,33 @@ func (e *Engine) SolveRRR(ctx context.Context, ds *dataset.Dataset, k int, algo 
 	})
 }
 
+// DefaultWarmBudget is the output budget r Warm solves with: a typical
+// interactive query size, so the per-vector top-K lists it materializes are
+// about as deep as real traffic needs.
+const DefaultWarmBudget = 5
+
+// Warm primes the engine's cache tiers for ds by running the auto-resolved
+// solver with a representative output budget (r <= 0 means
+// DefaultWarmBudget, clamped to the dataset size). It is the warm-start
+// hook of the durability layer: after a daemon restart the caches are
+// empty, so a serving layer that calls Warm in the background for every
+// recovered dataset pays the cold-solve cliff proactively — the first
+// client solve then finds the VecSet tier populated and takes the reuse
+// (or cheap extension) path instead of a cold build. Results are identical
+// either way; only latency moves. Callers must pass the same CacheSalt,
+// seed, and parallelism their live solves use, or the warmed entries will
+// not be the ones those solves look up.
+func (e *Engine) Warm(ctx context.Context, ds *dataset.Dataset, r int, opts Options) error {
+	if r <= 0 {
+		r = DefaultWarmBudget
+	}
+	if ds != nil && r > ds.N() {
+		r = ds.N()
+	}
+	_, err := e.Solve(ctx, ds, r, "", opts)
+	return err
+}
+
 // cached answers from the LRU when possible, otherwise computes and stores.
 // Cached solutions are cloned on the way in and out so callers can mutate
 // their copy freely. Concurrent identical cold requests are coalesced: the

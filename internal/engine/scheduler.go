@@ -190,6 +190,7 @@ type Scheduler struct {
 	retain   int      // finished-job history cap (maxRetainedJobs by default)
 	seq      uint64
 	closed   bool
+	shutDown sync.Once // cancel + worker-wait + queue sweep, shared by Close and Drain
 
 	running   atomic.Int64
 	submitted atomic.Uint64
@@ -493,24 +494,59 @@ func (s *Scheduler) Stats() SchedulerStats {
 	}
 }
 
+// markClosed flips the scheduler into its no-new-submissions state.
+func (s *Scheduler) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// shutdown cancels running jobs, waits for the workers to exit, and fails
+// everything still queued with ErrSchedulerClosed. Idempotent; concurrent
+// callers block until the first finishes.
+func (s *Scheduler) shutdown() {
+	s.shutDown.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+		for {
+			select {
+			case j := <-s.queue:
+				s.finishJob(j, nil, ErrSchedulerClosed)
+			default:
+				return
+			}
+		}
+	})
+}
+
 // Close stops the workers, cancels running jobs, and fails everything still
 // queued with ErrSchedulerClosed. It blocks until the workers exit.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	s.mu.Unlock()
-	s.cancel()
-	s.wg.Wait()
+	s.markClosed()
+	s.shutdown()
+}
+
+// Drain is the graceful shutdown: it stops accepting submissions, lets the
+// workers finish every queued and running job, and only then closes. When
+// ctx expires first the remaining jobs are cancelled Close-style and the
+// context error is returned. Either way the scheduler is closed when Drain
+// returns.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.markClosed()
+	defer s.shutdown()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
 	for {
+		// Every registered submission has finished when the lifetime
+		// counters meet; unregistered (never-enqueued) submissions are
+		// backed out of submitted, so the comparison is exact.
+		if s.nDone.Load()+s.nFailed.Load() >= s.submitted.Load() {
+			return nil
+		}
 		select {
-		case j := <-s.queue:
-			s.finishJob(j, nil, ErrSchedulerClosed)
-		default:
-			return
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
 		}
 	}
 }

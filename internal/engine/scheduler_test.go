@@ -278,3 +278,70 @@ func TestBatchContextCancel(t *testing.T) {
 		t.Fatal("batch did not return after ctx cancellation")
 	}
 }
+
+// TestDrainFinishesInFlightJobs is the graceful-shutdown contract: Drain
+// stops accepting new work but lets queued AND running jobs finish rather
+// than cancelling them, then closes the scheduler.
+func TestDrainFinishesInFlightJobs(t *testing.T) {
+	s, b := newBlockingScheduler(t, 2, 8)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.SimIsland(xrand.New(1), 50)
+
+	var ids []string
+	for r := 1; r <= 5; r++ {
+		st, err := s.Submit(blockReq(ds, b, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// Release the solves once the drain is underway, so Drain demonstrably
+	// waited instead of finding everything already done.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(b.release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		st, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost", id)
+		}
+		if st.State != JobDone {
+			t.Fatalf("job %s drained to state %s (err %q), want done", id, st.State, st.Error)
+		}
+	}
+	if _, err := s.Submit(blockReq(ds, b, 9)); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("submit during/after drain: %v, want ErrSchedulerClosed", err)
+	}
+	// Close after Drain stays a no-op.
+	s.Close()
+}
+
+// TestDrainTimeoutCancelsRemainder checks an expired drain context falls
+// back to Close semantics: stragglers are cancelled, the call reports the
+// context error, and the scheduler still ends up closed.
+func TestDrainTimeoutCancelsRemainder(t *testing.T) {
+	s, b := newBlockingScheduler(t, 1, 8)
+	testBlock.cur.Store(&b)
+	defer testBlock.cur.Store(nil)
+	ds := dataset.SimIsland(xrand.New(1), 50)
+	st, err := s.Submit(blockReq(ds, b, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain on a stuck job: %v, want deadline exceeded", err)
+	}
+	got, ok := s.Get(st.ID)
+	if !ok || got.State != JobFailed {
+		t.Fatalf("stuck job after timed-out drain: %+v", got)
+	}
+}

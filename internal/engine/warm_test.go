@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// TestWarmPrimesVecSetTier is the warm-start contract: after Warm, the
+// first real solve on the dataset must not build a vector set — it reuses
+// (or cheaply extends) the warmed one — and its answer is byte-identical to
+// a cold engine's.
+func TestWarmPrimesVecSetTier(t *testing.T) {
+	ds := dataset.SimNBA(xrand.New(1), 400)
+	opts := Options{CacheSalt: "nba", Seed: 1, MaxSamples: 600}
+
+	cold := New(0)
+	want, err := cold.Solve(context.Background(), ds, 7, "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(0)
+	if err := e.Warm(context.Background(), ds, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := e.VecSetStats()
+	if st.Builds != 1 {
+		t.Fatalf("warm built %d vector sets, want 1 (stats %+v)", st.Builds, st)
+	}
+	// r=7 differs from the warm budget, so this misses the solution cache
+	// and exercises the VecSet tier directly.
+	got, err := e.Solve(context.Background(), ds, 7, "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = e.VecSetStats()
+	if st.Builds != 1 {
+		t.Fatalf("post-warm solve cold-built a vector set (stats %+v)", st)
+	}
+	if st.Reuses+st.Extensions == 0 {
+		t.Fatalf("post-warm solve did not touch the warmed entry (stats %+v)", st)
+	}
+	if !reflect.DeepEqual(got.IDs, want.IDs) || got.RankRegret != want.RankRegret {
+		t.Fatalf("warmed solve %+v != cold solve %+v", got, want)
+	}
+}
+
+// TestWarmBudgetClamp checks tiny datasets warm with r = n instead of
+// failing validation.
+func TestWarmBudgetClamp(t *testing.T) {
+	ds := dataset.MustFromRows([][]float64{{0.2, 0.9, 0.5}, {0.8, 0.1, 0.4}})
+	e := New(0)
+	if err := e.Warm(context.Background(), ds, 0, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmHonorsContext checks a cancelled warm aborts instead of paying
+// the cold build.
+func TestWarmHonorsContext(t *testing.T) {
+	ds := dataset.SimNBA(xrand.New(1), 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(0)
+	if err := e.Warm(ctx, ds, 0, Options{Seed: 1}); err == nil {
+		t.Fatal("cancelled warm succeeded")
+	}
+}

@@ -1,0 +1,165 @@
+package store
+
+// Snapshots: periodic full encodings of the registry that bound WAL replay
+// cost. A snapshot file is named for the WAL segment sequence replay must
+// continue from — snapshotting rotates to a fresh segment S, then writes
+// snap-S, so recovery is "load snap-S, replay segments >= S". Files are
+// written to a temp name, fsynced, and renamed, so a crash mid-snapshot
+// leaves the previous snapshot intact; the CRC trailer catches anything
+// short of that.
+//
+// On-disk layout:
+//
+//	8 bytes  magic "rrsnaps1"
+//	8 bytes  LE payload length
+//	payload  registry encoding (see encodeRegistry)
+//	4 bytes  LE CRC32 (IEEE) of the payload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+)
+
+const snapMagic = "rrsnaps1"
+
+// registryView captures a registry as an immutable map of version-slice
+// copies — the shape snapshot cuts hand to the background encoder (listed
+// datasets are never mutated in place, so pointer copies suffice).
+func registryView(reg map[string]*Versions) map[string][]*dataset.Dataset {
+	view := make(map[string][]*dataset.Dataset, len(reg))
+	for name, vv := range reg {
+		view[name] = vv.List()
+	}
+	return view
+}
+
+// encodeRegistry serializes a registry view: every name's retained version
+// history, oldest version first, names in sorted order for determinism.
+func encodeRegistry(view map[string][]*dataset.Dataset) []byte {
+	names := make([]string, 0, len(view))
+	for name := range view {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	putUvarint := func(v uint64) { buf = dataset.AppendUvarint(buf, v) }
+	putUvarint(uint64(len(names)))
+	for _, name := range names {
+		versions := view[name]
+		putUvarint(uint64(len(name)))
+		buf = append(buf, name...)
+		putUvarint(uint64(len(versions)))
+		for _, ds := range versions {
+			buf = ds.AppendBinary(buf)
+		}
+	}
+	return buf
+}
+
+// decodeRegistry is the inverse of encodeRegistry. Arbitrary input returns
+// an error; it never panics (the snapshot fuzz target's contract).
+func decodeRegistry(data []byte) (map[string]*Versions, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > uint64(len(data)) {
+		return nil, evErr("bad registry dataset count")
+	}
+	data = data[n:]
+	reg := make(map[string]*Versions, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(data)
+		if n <= 0 || nameLen == 0 || nameLen > maxEventName || nameLen > uint64(len(data)-n) {
+			return nil, evErr("bad registry name length")
+		}
+		name := string(data[n : n+int(nameLen)])
+		data = data[n+int(nameLen):]
+		nVersions, n := binary.Uvarint(data)
+		if n <= 0 || nVersions == 0 || nVersions > uint64(len(data)) {
+			return nil, evErr("bad version count for %q", name)
+		}
+		data = data[n:]
+		if _, dup := reg[name]; dup {
+			return nil, evErr("duplicate registry name %q", name)
+		}
+		vv := &Versions{}
+		for v := uint64(0); v < nVersions; v++ {
+			ds, consumed, err := dataset.DecodeBinary(data)
+			if err != nil {
+				return nil, evErr("dataset %q version %d: %v", name, v, err)
+			}
+			data = data[consumed:]
+			vv.list = append(vv.list, ds)
+		}
+		reg[name] = vv
+	}
+	if len(data) != 0 {
+		return nil, evErr("registry payload has %d trailing bytes", len(data))
+	}
+	return reg, nil
+}
+
+// writeSnapshot atomically writes the registry payload as snap-<seq>.
+func writeSnapshot(dir string, seq uint64, payload []byte) error {
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(payload)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(payload))
+	err = func() error {
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			return err
+		}
+		if _, err := f.Write(trailer[:]); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readSnapshot loads and validates snap-<seq>, returning the registry
+// payload.
+func readSnapshot(dir string, seq uint64) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 20 || string(data[:8]) != snapMagic {
+		return nil, evErr("snapshot %d: bad header", seq)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-20) {
+		return nil, evErr("snapshot %d: payload length %d in a %d-byte file", seq, plen, len(data))
+	}
+	payload := data[16 : 16+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[16+plen:]) {
+		return nil, evErr("snapshot %d: checksum mismatch", seq)
+	}
+	return payload, nil
+}

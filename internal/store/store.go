@@ -1,0 +1,944 @@
+// Package store is the durability layer of the serving stack: a versioned
+// named-dataset registry whose every lifecycle mutation (register, append,
+// delete, drop) is appended to a checksummed write-ahead log before it is
+// published, with periodic full snapshots bounding replay cost. A Store
+// reopened over the same directory recovers the exact pre-crash registry —
+// retained version windows, fingerprints, lineages, and delta logs are
+// byte-identical — tolerating a torn WAL tail from a crash mid-write by
+// recovering the longest durable prefix.
+//
+// The live mutation API and crash replay funnel through the same
+// apply helpers, so the recovered state cannot drift from what a process
+// that never crashed would hold. A Store with no directory is ephemeral:
+// the same API, durability off — which lets serving layers use one code
+// path unconditionally.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultRetain is the retained-version window used when Options.Retain
+	// and per-call retain are unset.
+	DefaultRetain = 8
+	// DefaultSegmentBytes is the WAL rotation threshold.
+	DefaultSegmentBytes = 8 << 20
+	// DefaultSnapshotEvery is how many WAL records separate automatic
+	// snapshots.
+	DefaultSnapshotEvery = 1024
+)
+
+// Store errors surfaced to serving layers.
+var (
+	// ErrUnknownDataset is wrapped by mutations naming an unregistered
+	// dataset.
+	ErrUnknownDataset = errors.New("store: unknown dataset")
+	// ErrWouldEmpty rejects deletes that would leave a dataset with no rows
+	// (the registry never serves an empty dataset).
+	ErrWouldEmpty = errors.New("store: refusing to delete every row")
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory. Empty means ephemeral: the full registry
+	// API with durability disabled.
+	Dir string
+	// Retain caps each dataset's version history during replay (live
+	// mutations pass their own retain). 0 = DefaultRetain. Reopening with a
+	// different retain than the serving layer uses live will recover a
+	// differently-sized window; keep them equal.
+	Retain int
+	// SegmentBytes rotates the WAL segment when it would exceed this size
+	// (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEvery writes an automatic snapshot after this many WAL
+	// records (0 = DefaultSnapshotEvery, negative = only on Close/Compact).
+	SnapshotEvery int
+	// Sync is the WAL durability policy.
+	Sync SyncPolicy
+	// SyncInterval is the flush period under SyncInterval (0 = 100ms).
+	SyncInterval time.Duration
+	// Logf, when set, receives recovery and pruning diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retain < 1 {
+		o.Retain = DefaultRetain
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Versions is one registry entry: the retained version history of a logical
+// dataset, oldest first. Every listed version is immutable once published;
+// mutations snapshot the newest version, apply, and publish, so solves
+// pinned to any retained version stay consistent. Safe for concurrent use.
+type Versions struct {
+	mu   sync.Mutex
+	list []*dataset.Dataset
+
+	// mutateMu serializes store mutations of this dataset end to end
+	// (successor build -> WAL -> publish), so the expensive value-matrix
+	// copy runs outside the store's global lock without two concurrent
+	// mutations snapshotting the same base and losing one of the updates.
+	mutateMu sync.Mutex
+}
+
+// Current returns the newest version.
+func (v *Versions) Current() *dataset.Dataset {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.list[len(v.list)-1]
+}
+
+// At resolves a pinned version (0 = current).
+func (v *Versions) At(version uint64) (*dataset.Dataset, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if version == 0 {
+		return v.list[len(v.list)-1], true
+	}
+	for _, ds := range v.list {
+		if ds.Version() == version {
+			return ds, true
+		}
+	}
+	return nil, false
+}
+
+// List returns the retained versions, oldest first.
+func (v *Versions) List() []*dataset.Dataset {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]*dataset.Dataset(nil), v.list...)
+}
+
+// publish appends next as the new current version, trimming history past
+// retain.
+func (v *Versions) publish(next *dataset.Dataset, retain int) {
+	if retain < 1 {
+		retain = DefaultRetain
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.list = append(v.list, next)
+	if len(v.list) > retain {
+		v.list = append([]*dataset.Dataset(nil), v.list[len(v.list)-retain:]...)
+	}
+}
+
+// RecoveryInfo reports what Open reconstructed from the data directory.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence of the snapshot recovery loaded (0 =
+	// started empty).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotDatasets counts the datasets the snapshot held.
+	SnapshotDatasets int `json:"snapshot_datasets"`
+	// SegmentsReplayed / RecordsReplayed measure the WAL suffix replayed on
+	// top of the snapshot.
+	SegmentsReplayed int `json:"segments_replayed"`
+	RecordsReplayed  int `json:"records_replayed"`
+	// RecordsSkipped is non-zero when replay HALTED at a checksummed record
+	// that failed to decode or apply (format skew; never an ordinary torn
+	// tail): events after it would apply against the wrong base, so
+	// recovery keeps the prefix and stops there.
+	RecordsSkipped int `json:"records_skipped"`
+	// TornTail reports that replay stopped at an invalid record — the
+	// expected shape of a crash mid-append — and recovered the prefix.
+	TornTail bool `json:"torn_tail"`
+	// SegmentGap reports that a WAL segment sequence was missing (lost
+	// files); replay stopped at the gap rather than apply events against
+	// the wrong base state.
+	SegmentGap bool `json:"segment_gap"`
+	// Datasets counts registry entries after recovery.
+	Datasets int `json:"datasets"`
+}
+
+// SegmentInfo describes one on-disk WAL segment.
+type SegmentInfo struct {
+	Seq   uint64 `json:"seq"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Status is the machine-readable store health behind rrmd's
+// GET /v1/store/status.
+type Status struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	Sync    string `json:"fsync,omitempty"`
+	// Segments lists the on-disk WAL segments, ascending; WALBytes is
+	// their total size.
+	Segments   []SegmentInfo `json:"segments,omitempty"`
+	WALBytes   int64         `json:"wal_bytes"`
+	SegmentSeq uint64        `json:"segment_seq,omitempty"`
+	// Records and Syncs count appends and fsyncs since open.
+	Records uint64 `json:"records_appended"`
+	Syncs   uint64 `json:"syncs"`
+	// SnapshotSeq names the newest snapshot; SnapshotLag is how many WAL
+	// records a crash right now would have to replay past it.
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	Snapshots   uint64 `json:"snapshots_written"`
+	SnapshotLag int    `json:"snapshot_lag"`
+	// SnapshotError carries the last automatic-snapshot failure (empty once
+	// one succeeds); mutations keep committing through it.
+	SnapshotError string       `json:"snapshot_error,omitempty"`
+	Datasets      int          `json:"datasets"`
+	Recovery      RecoveryInfo `json:"recovery"`
+}
+
+// Summary is the cheap durability digest for hot paths (metrics, health
+// probes, batch responses): all in-memory counters, no filesystem access.
+// The authoritative per-segment picture is Status.
+type Summary struct {
+	Enabled       bool   `json:"enabled"`
+	Records       uint64 `json:"records_appended"`
+	SnapshotLag   int    `json:"snapshot_lag"`
+	WALBytes      int64  `json:"wal_bytes"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
+}
+
+// Store is the durable registry. All methods are safe for concurrent use;
+// mutations are serialized so WAL order equals publish order.
+type Store struct {
+	opts Options
+
+	// mu is a write lock for mutations (which hold it across the WAL
+	// append + fsync) and a read lock for lookups, so solves and health
+	// probes never wait behind each other — only behind the current
+	// mutation. Snapshot encoding and writing run OFF this lock entirely
+	// (see cutLocked/persistCut): a mutation only takes the cheap cut.
+	mu           sync.RWMutex
+	reg          map[string]*Versions
+	wal          *walWriter // nil when ephemeral
+	snapSeq      uint64
+	sinceSnap    int
+	snapshots    uint64
+	snapErr      error         // last snapshot failure (nil once one succeeds)
+	snapInFlight bool          // a cut is being persisted in the background
+	snapDone     chan struct{} // closed when that persist finishes
+	walBytes     int64         // on-disk WAL total, tracked so Summary never stats
+	closed       bool
+
+	recovery  RecoveryInfo
+	recovered []string // names restored by Open, sorted
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open recovers (or initializes) a store over opts.Dir: load the newest
+// valid snapshot, replay the WAL suffix — tolerating a torn tail — and
+// start a fresh segment for this process's appends. An empty Dir returns an
+// ephemeral store.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	st := &Store{opts: opts, reg: make(map[string]*Versions)}
+	if opts.Dir == "" {
+		return st, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	startSeq, err := st.loadLatestSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	maxSeq, err := st.replayWAL(startSeq)
+	if err != nil {
+		return nil, err
+	}
+	st.recovery.Datasets = len(st.reg)
+	for name := range st.reg {
+		st.recovered = append(st.recovered, name)
+	}
+	sort.Strings(st.recovered)
+	if st.wal, err = openWALWriter(opts.Dir, maxSeq+1); err != nil {
+		return nil, err
+	}
+	st.walBytes = walBytesOnDisk(opts.Dir)
+	st.sinceSnap = st.recovery.RecordsReplayed
+	// A boot snapshot is mandatory after a torn or gapped replay: the next
+	// recovery's replay would stop at the same damaged record, so anything
+	// acked into the fresh segment beyond it would be silently lost — the
+	// snapshot moves the replay start past the damage. It is also written
+	// after a long clean replay, purely to bound repeated-crash restart
+	// cost. Open is single-threaded, so the synchronous cut+persist needs
+	// no locking. Failing the snapshot in the mandatory case fails Open:
+	// a store that cannot promise durability must not accept writes.
+	mustSnap := st.recovery.TornTail || st.recovery.SegmentGap || st.recovery.RecordsSkipped > 0
+	if mustSnap || (opts.SnapshotEvery > 0 && st.sinceSnap >= opts.SnapshotEvery) {
+		seq, view, err := st.cutLocked()
+		if err == nil {
+			err = st.finishCutLocked(seq, st.persistCut(seq, view))
+		}
+		if err != nil {
+			if mustSnap {
+				// A damaged suffix without a superseding snapshot would lose
+				// every mutation acked after this recovery at the NEXT one;
+				// a store that cannot promise that must not accept writes.
+				st.wal.close()
+				return nil, fmt.Errorf("store: boot snapshot: %w", err)
+			}
+			// The replayed WAL is complete and intact; the snapshot was a
+			// replay-cost optimization. Log (finishCutLocked already set
+			// snapshot_error) and let the next threshold retry.
+			st.opts.Logf("store: boot snapshot failed, continuing with full WAL: %v", err)
+		}
+	}
+	if opts.Sync == SyncInterval {
+		st.stopSync = make(chan struct{})
+		st.syncDone = make(chan struct{})
+		go st.syncLoop()
+	}
+	return st, nil
+}
+
+// loadLatestSnapshot loads the newest snapshot that validates, falling back
+// to older ones, and returns the WAL sequence replay must continue from.
+func (st *Store) loadLatestSnapshot() (uint64, error) {
+	seqs, err := listSeqs(st.opts.Dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return 0, fmt.Errorf("store: listing snapshots: %w", err)
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		seq := seqs[i]
+		payload, err := readSnapshot(st.opts.Dir, seq)
+		if err != nil {
+			st.opts.Logf("store: snapshot %d unusable (%v), falling back", seq, err)
+			continue
+		}
+		reg, err := decodeRegistry(payload)
+		if err != nil {
+			st.opts.Logf("store: snapshot %d undecodable (%v), falling back", seq, err)
+			continue
+		}
+		st.reg = reg
+		st.snapSeq = seq
+		st.recovery.SnapshotSeq = seq
+		st.recovery.SnapshotDatasets = len(reg)
+		return seq, nil
+	}
+	return 0, nil
+}
+
+// errHaltReplay aborts a replay at a record that framed and checksummed
+// correctly but could not be decoded or applied (format skew): later events
+// were minted against a state that includes it, so applying them to the
+// prefix would silently diverge — the same wrong-base hazard as a segment
+// gap. Recovery keeps the prefix and stops.
+var errHaltReplay = errors.New("store: replay halted")
+
+// replayWAL applies the durable WAL suffix and returns the highest segment
+// sequence present on disk (startSeq when none are).
+func (st *Store) replayWAL(startSeq uint64) (uint64, error) {
+	stats, err := replaySegments(st.opts.Dir, startSeq, func(payload []byte) error {
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			st.recovery.RecordsSkipped++
+			st.opts.Logf("store: replay halted at undecodable WAL record: %v", err)
+			return errHaltReplay
+		}
+		if _, err := st.applyEvent(ev, st.opts.Retain); err != nil {
+			st.recovery.RecordsSkipped++
+			st.opts.Logf("store: replay halted at unappliable WAL %s(%s): %v", ev.Kind, ev.Name, err)
+			return errHaltReplay
+		}
+		return nil
+	})
+	if errors.Is(err, errHaltReplay) {
+		err = nil // prefix recovery; the boot snapshot supersedes the bad suffix
+	}
+	if err != nil {
+		return 0, err
+	}
+	st.recovery.SegmentsReplayed = stats.segments
+	st.recovery.RecordsReplayed = stats.records
+	st.recovery.TornTail = stats.torn
+	st.recovery.SegmentGap = stats.gap
+	if stats.torn {
+		st.opts.Logf("store: discarded torn WAL tail at segment %d offset %d", stats.tornSeq, stats.tornOff)
+	}
+	if stats.gap {
+		st.opts.Logf("store: WAL segment sequence gap before segment %d; later segments ignored", stats.tornSeq)
+	}
+	maxSeq := startSeq
+	if seqs, err := listSeqs(st.opts.Dir, segPrefix, segSuffix); err == nil && len(seqs) > 0 {
+		if last := seqs[len(seqs)-1]; last > maxSeq {
+			maxSeq = last
+		}
+	}
+	return maxSeq, nil
+}
+
+// applyEvent mutates the registry per ev. It is the single apply path shared
+// by live mutations and replay, which is what makes recovery byte-identical.
+// Called with st.mu held.
+func (st *Store) applyEvent(ev Event, retain int) (*dataset.Dataset, error) {
+	switch ev.Kind {
+	case EventRegister:
+		st.reg[ev.Name] = &Versions{list: []*dataset.Dataset{ev.Dataset}}
+		return ev.Dataset, nil
+	case EventDrop:
+		if _, ok := st.reg[ev.Name]; !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownDataset, ev.Name)
+		}
+		delete(st.reg, ev.Name)
+		return nil, nil
+	case EventAppend:
+		vv, ok := st.reg[ev.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownDataset, ev.Name)
+		}
+		next, err := appendNext(vv.Current(), ev.Rows)
+		if err != nil {
+			return nil, err
+		}
+		vv.publish(next, retain)
+		return next, nil
+	case EventDelete:
+		vv, ok := st.reg[ev.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownDataset, ev.Name)
+		}
+		next, err := deleteNext(vv.Current(), ev.IDs)
+		if err != nil {
+			return nil, err
+		}
+		vv.publish(next, retain)
+		return next, nil
+	default:
+		return nil, fmt.Errorf("store: unknown event kind %d", ev.Kind)
+	}
+}
+
+// appendNext validates rows against cur and builds the appended successor
+// version without publishing it.
+func appendNext(cur *dataset.Dataset, rows [][]float64) (*dataset.Dataset, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("store: append of zero rows")
+	}
+	for i, row := range rows {
+		if len(row) != cur.Dim() {
+			return nil, fmt.Errorf("store: row %d has %d attributes, want %d", i, len(row), cur.Dim())
+		}
+	}
+	next := cur.Snapshot()
+	for _, row := range rows {
+		next.Append(row)
+	}
+	return next, nil
+}
+
+// deleteNext validates ids against cur and builds the compacted successor
+// version without publishing it.
+func deleteNext(cur *dataset.Dataset, ids []int) (*dataset.Dataset, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("store: delete of zero rows")
+	}
+	for _, id := range ids {
+		if id < 0 || id >= cur.N() {
+			return nil, fmt.Errorf("store: delete index %d out of range [0, %d)", id, cur.N())
+		}
+	}
+	next := cur.Snapshot()
+	if err := next.Delete(ids); err != nil {
+		return nil, err
+	}
+	if next.N() == 0 {
+		return nil, ErrWouldEmpty
+	}
+	return next, nil
+}
+
+// encodeEvent prepares ev's WAL payload, or nil for an ephemeral store.
+// Callers run it OUTSIDE st.mu: register payloads carry whole datasets, and
+// that encode must not stall unrelated readers. st.wal's nil-ness is fixed
+// at Open, so the unlocked check is safe.
+func (st *Store) encodeEvent(ev Event) ([]byte, error) {
+	if st.wal == nil {
+		return nil, nil
+	}
+	return ev.appendTo(nil)
+}
+
+// logPayload makes a pre-encoded event durable per the sync policy,
+// rotating the segment when it would overflow. Called with st.mu
+// write-held, before the event is published.
+func (st *Store) logPayload(payload []byte) error {
+	if st.wal == nil {
+		return nil
+	}
+	if st.wal.size > int64(len(segMagic)) &&
+		st.wal.size+recordHeader+int64(len(payload)) > st.opts.SegmentBytes {
+		if err := st.wal.rotate(st.wal.seq + 1); err != nil {
+			return err
+		}
+		st.walBytes += int64(len(segMagic))
+	}
+	if err := st.wal.append(payload); err != nil {
+		return err
+	}
+	st.walBytes += recordHeader + int64(len(payload))
+	if st.opts.Sync == SyncAlways {
+		if err := st.wal.sync(); err != nil {
+			return err
+		}
+	}
+	st.sinceSnap++
+	return nil
+}
+
+// maybeSnapshotLocked starts an automatic snapshot when the WAL has grown
+// SnapshotEvery records past the last cut. The triggering mutation is
+// already WAL-durable and published, so snapshotting must neither fail it
+// nor slow it down: the mutation pays only the cut (a segment rotation and
+// a map of pointer copies); encoding and writing the registry run in a
+// background goroutine against the immutable captured view. Failures are
+// logged and surfaced in Status/Summary, and the next threshold retries.
+// Called with st.mu write-held.
+func (st *Store) maybeSnapshotLocked() {
+	if st.wal == nil || st.opts.SnapshotEvery <= 0 || st.sinceSnap < st.opts.SnapshotEvery || st.snapInFlight {
+		return
+	}
+	seq, view, err := st.cutLocked()
+	if err != nil {
+		st.snapErr = err
+		st.opts.Logf("store: snapshot cut failed: %v", err)
+		return
+	}
+	st.snapInFlight = true
+	st.snapDone = make(chan struct{})
+	go func() {
+		werr := st.persistCut(seq, view)
+		st.mu.Lock()
+		st.finishCutLocked(seq, werr)
+		st.mu.Unlock()
+	}()
+}
+
+// cutLocked takes a snapshot cut: rotate to a fresh segment S and capture
+// an immutable view of the registry as of that boundary (published datasets
+// are never mutated in place, so the view is a map of pointer copies).
+// Records appended afterwards land in segment S and will be replayed on top
+// of the snapshot. Called with st.mu write-held.
+func (st *Store) cutLocked() (uint64, map[string][]*dataset.Dataset, error) {
+	if err := st.wal.rotate(st.wal.seq + 1); err != nil {
+		return 0, nil, err
+	}
+	st.walBytes += int64(len(segMagic))
+	st.sinceSnap = 0
+	return st.wal.seq, registryView(st.reg), nil
+}
+
+// persistCut encodes and writes a cut as snap-<seq>. It takes no locks —
+// the view is immutable — so mutations and reads proceed while it runs.
+func (st *Store) persistCut(seq uint64, view map[string][]*dataset.Dataset) error {
+	return writeSnapshot(st.opts.Dir, seq, encodeRegistry(view))
+}
+
+// finishCutLocked records a persist attempt's outcome: on success the
+// snapshot becomes current and files older than its predecessor (the kept
+// fallback) are pruned. Called with st.mu write-held.
+func (st *Store) finishCutLocked(seq uint64, err error) error {
+	st.snapInFlight = false
+	if st.snapDone != nil {
+		close(st.snapDone)
+		st.snapDone = nil
+	}
+	if err != nil {
+		st.snapErr = err
+		st.opts.Logf("store: snapshot %d failed (next threshold retries): %v", seq, err)
+		return err
+	}
+	prev := st.snapSeq
+	st.snapSeq = seq
+	st.snapshots++
+	st.snapErr = nil
+	if prev > 0 {
+		st.pruneBelow(prev)
+	}
+	return nil
+}
+
+// awaitSnapshotLocked blocks until no background persist is in flight.
+// Called with st.mu write-held; the lock is dropped while waiting and
+// re-held on return.
+func (st *Store) awaitSnapshotLocked() {
+	for st.snapInFlight {
+		done := st.snapDone
+		st.mu.Unlock()
+		<-done
+		st.mu.Lock()
+	}
+}
+
+// pruneBelow removes snapshots and segments with sequence < keep, keeping
+// the tracked WAL total in step with the disk.
+func (st *Store) pruneBelow(keep uint64) {
+	if _, _, err := removeBelow(st.opts.Dir, snapPrefix, snapSuffix, keep); err != nil {
+		st.opts.Logf("store: pruning snapshots: %v", err)
+	}
+	_, bytes, err := removeBelow(st.opts.Dir, segPrefix, segSuffix, keep)
+	st.walBytes -= bytes
+	if err != nil {
+		st.opts.Logf("store: pruning WAL segments: %v", err)
+	}
+}
+
+// syncLoop is the SyncInterval flusher. It talks to the walWriter directly
+// (its own mutex covers the file ops), never taking st.mu, so a slow fsync
+// stalls only the mutation that races it on w.mu — not every reader. Close
+// stops this loop before closing the WAL, so w.f stays valid throughout.
+func (st *Store) syncLoop() {
+	defer close(st.syncDone)
+	t := time.NewTicker(st.opts.SyncInterval)
+	defer t.Stop()
+	var lastErr string
+	for {
+		select {
+		case <-st.stopSync:
+			return
+		case <-t.C:
+			err := st.wal.sync()
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			if msg != lastErr && msg != "" {
+				st.opts.Logf("store: interval sync: %v", err)
+			}
+			lastErr = msg
+		}
+	}
+}
+
+// Names returns the registered dataset names, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	names := make([]string, 0, len(st.reg))
+	for name := range st.reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.reg)
+}
+
+// Get returns the version history registered under name.
+func (st *Store) Get(name string) (*Versions, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	vv, ok := st.reg[name]
+	return vv, ok
+}
+
+// RecoveredNames returns the dataset names Open restored from disk, sorted —
+// the serving layer's warm-start worklist.
+func (st *Store) RecoveredNames() []string {
+	return append([]string(nil), st.recovered...)
+}
+
+// Recovery reports what Open reconstructed.
+func (st *Store) Recovery() RecoveryInfo { return st.recovery }
+
+// Register durably (re)binds name to ds, dropping any previous history
+// under that name. The caller must not mutate ds afterwards except through
+// the store.
+func (st *Store) Register(name string, ds *dataset.Dataset, retain int) error {
+	if name == "" {
+		return errors.New("store: dataset name must be non-empty")
+	}
+	if ds == nil || ds.N() == 0 {
+		return errors.New("store: dataset is empty")
+	}
+	// The O(n*d) dataset encode runs before the lock; only the WAL append
+	// and the map swap happen under it.
+	payload, err := st.encodeEvent(Event{Kind: EventRegister, Name: name, Dataset: ds})
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.logPayload(payload); err != nil {
+		return err
+	}
+	st.reg[name] = &Versions{list: []*dataset.Dataset{ds}}
+	st.maybeSnapshotLocked()
+	return nil
+}
+
+// Drop durably removes name and its whole version history.
+func (st *Store) Drop(name string) error {
+	payload, err := st.encodeEvent(Event{Kind: EventDrop, Name: name})
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if _, ok := st.reg[name]; !ok {
+		return fmt.Errorf("%w %q", ErrUnknownDataset, name)
+	}
+	if err := st.logPayload(payload); err != nil {
+		return err
+	}
+	delete(st.reg, name)
+	st.maybeSnapshotLocked()
+	return nil
+}
+
+// mutate is the shared live-mutation path: build the successor version and
+// the WAL payload OUTSIDE the global lock (the value-matrix copy and the
+// event encode are the expensive parts, and they must not stall reads or
+// mutations of other datasets), then append + publish under it. The
+// per-dataset mutateMu serializes same-dataset mutations end to end so two
+// builders never race on one base version.
+func (st *Store) mutate(name string, build func(cur *dataset.Dataset) (*dataset.Dataset, error), ev Event, retain int) (*dataset.Dataset, error) {
+	vv, ok := st.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
+	}
+	vv.mutateMu.Lock()
+	defer vv.mutateMu.Unlock()
+	next, err := build(vv.Current())
+	if err != nil {
+		return nil, err
+	}
+	payload, err := st.encodeEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrClosed
+	}
+	// The entry may have been dropped or replaced while we were building;
+	// publishing onto a detached history would silently lose the mutation.
+	if cur, live := st.reg[name]; !live || cur != vv {
+		return nil, fmt.Errorf("%w %q (dropped or replaced concurrently)", ErrUnknownDataset, name)
+	}
+	if err := st.logPayload(payload); err != nil {
+		return nil, err
+	}
+	vv.publish(next, retain)
+	st.maybeSnapshotLocked()
+	return next, nil
+}
+
+// AppendRows durably appends rows to name's current version and publishes
+// the successor, returning it. The WAL record is written (and, under
+// SyncAlways, synced) before the new version becomes visible.
+func (st *Store) AppendRows(name string, rows [][]float64, retain int) (*dataset.Dataset, error) {
+	return st.mutate(name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
+		// Validation happens in the builder, so the WAL never holds an
+		// event the registry rejected.
+		return appendNext(cur, rows)
+	}, Event{Kind: EventAppend, Name: name, Rows: rows}, retain)
+}
+
+// DeleteRows durably removes rows by id from name's current version and
+// publishes the successor, returning it.
+func (st *Store) DeleteRows(name string, ids []int, retain int) (*dataset.Dataset, error) {
+	return st.mutate(name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
+		return deleteNext(cur, ids)
+	}, Event{Kind: EventDelete, Name: name, IDs: ids}, retain)
+}
+
+// Snapshot forces a full snapshot now, synchronously: when it returns nil
+// the snapshot is on disk and older files are pruned to the fallback.
+func (st *Store) Snapshot() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	if st.wal == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	st.awaitSnapshotLocked()
+	// awaitSnapshotLocked dropped the lock; Close may have run meanwhile
+	// (and nil'd the WAL's file), so the closed check must repeat.
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	seq, view, err := st.cutLocked()
+	if err != nil {
+		st.snapErr = err
+		st.mu.Unlock()
+		return err
+	}
+	// Claim the in-flight slot so concurrent automatic snapshots hold off,
+	// then persist outside the lock like they do.
+	st.snapInFlight = true
+	st.snapDone = make(chan struct{})
+	st.mu.Unlock()
+	werr := st.persistCut(seq, view)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.finishCutLocked(seq, werr)
+}
+
+// Compact writes a snapshot, verifies it reads back, and prunes every older
+// snapshot and WAL segment — the offline `rrmd -compact` mode. Unlike
+// automatic snapshots it keeps no fallback, which is why it verifies first.
+func (st *Store) Compact() error {
+	st.mu.RLock()
+	enabled := st.wal != nil
+	st.mu.RUnlock()
+	if !enabled {
+		return nil
+	}
+	if err := st.Snapshot(); err != nil {
+		return err
+	}
+	st.mu.RLock()
+	seq := st.snapSeq
+	st.mu.RUnlock()
+	payload, err := readSnapshot(st.opts.Dir, seq)
+	if err != nil {
+		return fmt.Errorf("store: compact verification: %w", err)
+	}
+	if _, err := decodeRegistry(payload); err != nil {
+		return fmt.Errorf("store: compact verification: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.pruneBelow(st.snapSeq)
+	return nil
+}
+
+// Summary reports the in-memory durability counters without touching the
+// filesystem; safe to call on every request.
+func (st *Store) Summary() Summary {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := Summary{
+		Enabled:     st.wal != nil,
+		SnapshotLag: st.sinceSnap,
+		WALBytes:    st.walBytes,
+	}
+	if st.wal != nil {
+		s.Records = st.wal.records
+	}
+	if st.snapErr != nil {
+		s.SnapshotError = st.snapErr.Error()
+	}
+	return s
+}
+
+// Status snapshots the store's durability health, including the on-disk
+// segment listing. The directory scan runs outside the store lock, so a
+// slow disk delays only the caller, never mutations or lookups.
+func (st *Store) Status() Status {
+	st.mu.RLock()
+	s := Status{
+		Enabled:     st.wal != nil,
+		Dir:         st.opts.Dir,
+		SnapshotSeq: st.snapSeq,
+		Snapshots:   st.snapshots,
+		SnapshotLag: st.sinceSnap,
+		Datasets:    len(st.reg),
+		Recovery:    st.recovery,
+	}
+	if st.snapErr != nil {
+		s.SnapshotError = st.snapErr.Error()
+	}
+	if st.wal != nil {
+		s.Sync = st.opts.Sync.String()
+		if st.opts.Sync == SyncInterval {
+			s.Sync = fmt.Sprintf("interval:%s", st.opts.SyncInterval)
+		}
+		s.SegmentSeq = st.wal.seq
+		s.Records = st.wal.records
+		s.Syncs = st.wal.syncs.Load()
+	}
+	st.mu.RUnlock()
+	if !s.Enabled {
+		return s
+	}
+	if seqs, err := listSeqs(s.Dir, segPrefix, segSuffix); err == nil {
+		for _, seq := range seqs {
+			info, err := os.Stat(filepath.Join(s.Dir, segmentName(seq)))
+			if err != nil {
+				continue
+			}
+			s.Segments = append(s.Segments, SegmentInfo{Seq: seq, Bytes: info.Size()})
+			s.WALBytes += info.Size()
+		}
+	}
+	return s
+}
+
+// Close flushes the WAL, writes a final snapshot when records have landed
+// since the last one, and closes the segment. A clean Close makes the next
+// Open replay-free. Idempotent.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.mu.Unlock()
+	if st.stopSync != nil {
+		close(st.stopSync)
+		<-st.syncDone
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.wal == nil {
+		return nil
+	}
+	st.awaitSnapshotLocked() // closed is set, so no new cut can start
+	var err error
+	if st.sinceSnap > 0 {
+		// Final synchronous snapshot; no concurrency left, so persisting
+		// with the lock held is fine.
+		if seq, view, cerr := st.cutLocked(); cerr != nil {
+			err = cerr
+		} else {
+			err = st.finishCutLocked(seq, st.persistCut(seq, view))
+		}
+	}
+	if cerr := st.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}

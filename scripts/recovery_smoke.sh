@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Recovery smoke: start rrmd with a data dir, mutate over HTTP, kill -9 the
+# daemon, restart it over the same directory, and require the registered
+# datasets, their retained version windows (fingerprints included), and a
+# deterministic solve to come back byte-identical. Store status is written
+# to store_status.json for upload as a CI artifact.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/rrmd" ./cmd/rrmd
+
+# A small deterministic CSV dataset (5 attributes).
+python3 - "$WORK/cars.csv" <<'EOF'
+import random, sys
+random.seed(11)
+with open(sys.argv[1], "w") as f:
+    for _ in range(500):
+        f.write(",".join(f"{random.random():.6f}" for _ in range(5)) + "\n")
+EOF
+
+start_daemon() {
+  "$WORK/rrmd" -addr "$ADDR" -data-dir "$DATA" -fsync always "$@" &
+  PID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon did not come up" >&2
+  return 1
+}
+
+echo "== first boot: register + mutate =="
+start_daemon -load "cars=$WORK/cars.csv"
+curl -sf -X POST "$BASE/v1/datasets/cars/rows" \
+  -d '{"rows":[[0.10,0.90,0.50,0.40,0.30],[0.20,0.80,0.60,0.30,0.70]]}' >/dev/null
+curl -sf -X POST "$BASE/v1/datasets/cars/rows" \
+  -d '{"rows":[[0.90,0.10,0.20,0.80,0.40]]}' >/dev/null
+curl -sf -X DELETE "$BASE/v1/datasets/cars/rows" -d '{"ids":[3,17]}' >/dev/null
+
+# Capture the observable state: version window (with fingerprints) and a
+# deterministic solve.
+curl -sf "$BASE/v1/datasets/cars/versions" | jq -S . > "$WORK/versions_before.json"
+curl -sf -X POST "$BASE/v1/solve" -d '{"dataset":"cars","r":7,"algorithm":"hdrrm","max_samples":800}' \
+  | jq -S '{dataset,algorithm,ids,rank_regret}' > "$WORK/solve_before.json"
+
+echo "== kill -9 =="
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "== restart over the same data dir (same flags: -load must not clobber recovery) =="
+start_daemon -load "cars=$WORK/cars.csv"
+curl -sf "$BASE/v1/datasets/cars/versions" | jq -S . > "$WORK/versions_after.json"
+curl -sf -X POST "$BASE/v1/solve" -d '{"dataset":"cars","r":7,"algorithm":"hdrrm","max_samples":800}' \
+  | jq -S '{dataset,algorithm,ids,rank_regret}' > "$WORK/solve_after.json"
+curl -sf "$BASE/v1/store/status" | jq -S . > store_status.json
+
+echo "== compare =="
+diff -u "$WORK/versions_before.json" "$WORK/versions_after.json"
+diff -u "$WORK/solve_before.json" "$WORK/solve_after.json"
+
+# The restart must have recovered from disk, not started empty.
+RECOVERED=$(jq -r '.store.recovery.datasets' store_status.json)
+if [ "$RECOVERED" != "1" ]; then
+  echo "expected 1 recovered dataset, got $RECOVERED" >&2
+  cat store_status.json >&2
+  exit 1
+fi
+
+kill "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null || true
+echo "recovery smoke OK: versions and solve results byte-identical across kill -9"
+cat store_status.json
