@@ -45,6 +45,7 @@ import (
 
 	"github.com/rankregret/rankregret/internal/cliutil"
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/store"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
@@ -70,7 +71,9 @@ func run(args []string) error {
 		maxUpload = fs.Int64("max-upload", 64<<20, "maximum POST /v1/datasets body size in bytes")
 		cacheSize = fs.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
 		workers   = fs.Int("workers", 0, "job scheduler worker count (0 = GOMAXPROCS)")
-		queueCap  = fs.Int("queue", 0, "job scheduler queue capacity (0 = default 256)")
+		queueCap  = fs.Int("queue", 0, "job scheduler queue capacity (0 = default 256); a full queue rejects with 429 + Retry-After")
+		policy    = fs.String("policy", "affinity", "queue scheduling policy: fifo (strict arrival order) or affinity (warm-cache jobs first under pressure; results identical, only latency ordering moves)")
+		queueWait = fs.Duration("queue-wait", 0, "queue-wait budget for synchronous solves before a 429 (0 = same as -timeout); the solve's own timeout starts when it leaves the queue")
 		solvePar  = fs.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
 		retainVer = fs.Int("retain-versions", DefaultRetainVersions, "dataset versions kept solvable per name (older versions age out)")
 		demo      = fs.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
@@ -135,11 +138,21 @@ func run(args []string) error {
 		return err
 	}
 
+	pol, ok := engine.PolicyByName(*policy)
+	if !ok {
+		if cerr := st.Close(); cerr != nil {
+			log.Printf("rrmd: closing store: %v", cerr)
+		}
+		return fmt.Errorf("unknown -policy %q (want fifo or affinity)", *policy)
+	}
+
 	srv := NewServerWith(st, *cacheSize, *timeout, *workers, *queueCap)
 	defer srv.Close()
 	srv.MaxUploadBytes = *maxUpload
 	srv.SolveParallelism = *solvePar
 	srv.RetainVersions = *retainVer
+	srv.QueueWait = *queueWait
+	srv.SetPolicy(pol)
 	// Startup loads must not clobber what recovery just rebuilt: a daemon
 	// restarted with its usual -load/-demo flags keeps the recovered
 	// version history (with every durably-acked mutation) rather than

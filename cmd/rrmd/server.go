@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -52,6 +53,17 @@ type Server struct {
 	// differently-sized window.
 	RetainVersions int
 
+	// QueueWait is the queue-wait budget for synchronous solves: how long a
+	// POST /v1/solve may sit in the scheduler queue before it is rejected
+	// with 429 (0 = the server's timeout ceiling). The requested timeout_ms
+	// is the run budget and is anchored at dequeue, so a solve that waited
+	// in a saturated queue still gets its full budget once it starts.
+	QueueWait time.Duration
+
+	// RetryAfterSeconds is the Retry-After hint sent with 429 (overload)
+	// and 503 (draining) rejections (0 = 1 second).
+	RetryAfterSeconds int
+
 	// warm tracks the background warm-start per dataset name; warmCtx is
 	// cancelled by Close/Shutdown so an abandoned warm stops mid-solve.
 	warmMu     sync.Mutex
@@ -94,6 +106,27 @@ func NewServerWith(st *store.Store, cacheSize int, maxTimeout time.Duration, wor
 		warmCtx:        warmCtx,
 		warmCancel:     warmCancel,
 	}
+}
+
+// SetPolicy swaps the scheduler's queue-ordering policy: engine.FIFO (the
+// default) or engine.Affinity, which runs warm-cache jobs first under
+// pressure. Safe to call while serving.
+func (s *Server) SetPolicy(p engine.Policy) {
+	s.sched.SetPolicy(p)
+}
+
+func (s *Server) queueWait() time.Duration {
+	if s.QueueWait > 0 {
+		return s.QueueWait
+	}
+	return s.maxTimeout
+}
+
+func (s *Server) retryAfter() int {
+	if s.RetryAfterSeconds > 0 {
+		return s.RetryAfterSeconds
+	}
+	return 1
 }
 
 // Close stops the warm-start, the job scheduler (cancelling running jobs
@@ -597,6 +630,27 @@ func statusOf(err error) int {
 	}
 }
 
+// writeOverload maps scheduler admission failures to the unified overload
+// statuses — 429 when the queue is full or the queue-wait budget expired,
+// 503 when the scheduler is draining for shutdown — with a Retry-After hint,
+// and reports whether it recognized (and answered) the error. Every
+// endpoint that touches the scheduler routes rejections through here so the
+// statuses cannot drift apart again.
+func (s *Server) writeOverload(w http.ResponseWriter, err error) bool {
+	var status int
+	switch {
+	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrQueueTimeout):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, engine.ErrSchedulerClosed):
+		status = http.StatusServiceUnavailable
+	default:
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	writeErr(w, status, err)
+	return true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req solveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -608,57 +662,60 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), er.Timeout)
-	defer cancel()
 	start := time.Now()
-	type outcome struct {
-		sol *engine.Solution
-		est *int
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		var o outcome
-		o.sol, o.err = er.Run(ctx, s.eng)
-		if o.err == nil && req.EvalSamples > 0 {
-			space := er.Opts.Space
-			if space == nil {
-				space = funcspace.NewFull(er.Dataset.Dim())
+	// Warm hits are answered inline: a cached solution costs microseconds,
+	// so it never waits for (or gets shed by) scheduler admission. Everything
+	// else goes through the scheduler — the one bounded worker pool — so
+	// synchronous solves obey the same admission control, queue policy, and
+	// overload semantics as batch and async jobs. The run budget (timeout_ms)
+	// is anchored at dequeue inside the scheduler; the queue wait has its own
+	// budget, so a solve that sat in a saturated queue is either rejected
+	// promptly (429) or runs with its full budget intact.
+	sol, ok := s.eng.SolveCached(er)
+	if !ok {
+		er.QueueTimeout = s.queueWait()
+		ctx, cancel := context.WithTimeout(r.Context(), er.QueueTimeout+er.Timeout)
+		defer cancel()
+		sol, err = s.sched.Do(ctx, er)
+		if err != nil {
+			if !s.writeOverload(w, err) {
+				writeErr(w, statusOf(err), err)
 			}
-			est, err := eval.RankRegretCtx(ctx, er.Dataset, o.sol.IDs, space, clampSamples(req.EvalSamples), er.Opts.Seed+7)
-			if err != nil {
-				o.err = err
-			} else {
-				o.est = &est
-			}
+			return
 		}
-		done <- o
-	}()
-	// Context-aware solvers abort from inside their hot loops; the select
-	// additionally bounds the client's wait for solvers (and the sampling
-	// estimator) that do not check ctx — the goroutine then finishes in the
-	// background and is dropped.
-	var o outcome
-	select {
-	case o = <-done:
-	case <-ctx.Done():
-		o.err = ctx.Err()
 	}
-	if o.err != nil {
-		writeErr(w, statusOf(o.err), o.err)
-		return
+	var est *int
+	if req.EvalSamples > 0 {
+		// The estimator checks ctx, and gets the same budget the solve had.
+		ectx, cancel := context.WithTimeout(r.Context(), er.Timeout)
+		e, err := eval.RankRegretCtx(ectx, er.Dataset, sol.IDs, evalSpace(er), clampSamples(req.EvalSamples), er.Opts.Seed+7)
+		cancel()
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		est = &e
 	}
 	resp := solveResponse{
-		solveResult: resultOf(req.Dataset, o.sol),
+		solveResult: resultOf(req.Dataset, sol),
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 		Cache:       s.eng.CacheStats(),
 	}
-	if o.est != nil {
-		pct := 100 * float64(*o.est) / float64(er.Dataset.N())
-		resp.Estimated = o.est
+	if est != nil {
+		pct := 100 * float64(*est) / float64(er.Dataset.N())
+		resp.Estimated = est
 		resp.Percent = &pct
 	}
 	writeOK(w, http.StatusOK, resp)
+}
+
+// evalSpace is the utility space the sampling estimator evaluates in: the
+// request's restricted space, or the full orthant.
+func evalSpace(er engine.Request) funcspace.Space {
+	if er.Opts.Space != nil {
+		return er.Opts.Space
+	}
+	return funcspace.NewFull(er.Dataset.Dim())
 }
 
 // maxEvalSamples caps client-supplied sampling budgets so a single request
@@ -730,11 +787,14 @@ type batchRequest struct {
 }
 
 // batchItem is one answer of a batch response, in request order. Exactly
-// one of the embedded result and Error is present.
+// one of the embedded result and Error is present; Rejected marks items the
+// scheduler never admitted (overload or drain), which are safe to retry
+// as-is after the response's Retry-After hint.
 type batchItem struct {
 	Index int `json:"index"`
 	*solveResult
-	Error string `json:"error,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
 }
 
 // maxBatchSize bounds how many solves one batch request may carry.
@@ -779,22 +839,45 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		engIdx = append(engIdx, i)
 	}
 	start := time.Now()
-	statuses, err := s.sched.Batch(ctx, engReqs)
-	if err != nil {
-		writeErr(w, statusOf(err), err)
-		return
-	}
+	// BatchPartial never fails wholesale: items the scheduler could not
+	// admit before the batch budget ran out (or because it is draining)
+	// come back rejected, items cancelled mid-flight report their error,
+	// and everything that finished keeps its result.
+	statuses := s.sched.BatchPartial(ctx, engReqs)
+	accepted, rejected, draining := 0, 0, 0
 	for bi, st := range statuses {
 		i := engIdx[bi]
-		if st.Error != "" {
+		switch {
+		case st.State == engine.JobRejected:
+			items[i].Rejected = true
 			items[i].Error = st.Error
-			continue
+			rejected++
+			if st.Error == engine.ErrSchedulerClosed.Error() {
+				draining++
+			}
+		case st.Error != "":
+			items[i].Error = st.Error
+			accepted++
+		default:
+			res := resultOf(st.Label, st.Solution)
+			items[i].solveResult = &res
+			accepted++
 		}
-		res := resultOf(st.Label, st.Solution)
-		items[i].solveResult = &res
+	}
+	// A batch the draining scheduler rejected in full is a server-level
+	// condition, not a per-item one: answer 503 so clients retry elsewhere.
+	if draining > 0 && draining == len(statuses) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeErr(w, http.StatusServiceUnavailable, engine.ErrSchedulerClosed)
+		return
+	}
+	if rejected > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	}
 	writeOK(w, http.StatusOK, map[string]any{
 		"count":      len(items),
+		"accepted":   accepted,
+		"rejected":   rejected,
 		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
 		"results":    items,
 		"metrics":    s.metrics(),
@@ -864,11 +947,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.sched.Submit(er)
 	if err != nil {
-		if errors.Is(err, engine.ErrQueueFull) {
-			writeErr(w, http.StatusServiceUnavailable, err)
-			return
+		// Queue full -> 429, draining -> 503, both with Retry-After: the
+		// same overload statuses /v1/solve and /v1/solve/batch use.
+		if !s.writeOverload(w, err) {
+			writeErr(w, http.StatusInternalServerError, err)
 		}
-		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeOK(w, http.StatusAccepted, wireStatus(st))
@@ -908,6 +991,13 @@ func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
 // (including queue depth), the registry size, and the store's durability
 // summary. /v1/metrics, batch responses, and /healthz all serialize this
 // struct, so no surface can drift into reporting partial stats again.
+//
+// Each block is an internally coherent snapshot — its subsystem reads every
+// counter under one lock — so a scraper can never observe a torn state such
+// as jobs done exceeding jobs submitted, no matter how hard the server is
+// being driven. Blocks are taken in one pass but not atomically with respect
+// to each other (cross-subsystem coherence would require stopping the
+// world), so only compare counters within a block.
 type serverMetrics struct {
 	Engine    engine.Metrics        `json:"engine"`
 	Scheduler engine.SchedulerStats `json:"scheduler"`

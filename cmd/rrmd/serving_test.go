@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/loadgen"
+	"github.com/rankregret/rankregret/internal/xrand"
+)
+
+// newServingServer boots an in-process rrmd with two small datasets and the
+// given pool/queue shape, wrapped in an httptest listener.
+func newServingServer(t *testing.T, cacheSize, workers, queueCap int, policy engine.Policy) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(cacheSize, 30*time.Second, workers, queueCap)
+	t.Cleanup(srv.Close)
+	srv.SetPolicy(policy)
+	if err := srv.AddDataset("island", dataset.SimIsland(xrand.New(1), 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddDataset("nba", dataset.SimNBA(xrand.New(1), 200)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// servingTrace generates a short deterministic trace across both datasets.
+// RMin 5 covers SimNBA's dimensionality (the hdrrm family needs r >= the
+// dataset's basis size, which can reach d = 5).
+func servingTrace(t *testing.T, cfg loadgen.Config) *loadgen.Trace {
+	t.Helper()
+	cfg.Datasets = []string{"island", "nba"}
+	cfg.RMin = 5
+	if cfg.RMax == 0 {
+		cfg.RMax = 7
+	}
+	tr, err := loadgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestServingSteadySmoke drives a short steady scenario — the full request
+// mix, mutations included — against a default-shaped server and checks the
+// run is healthy: work completed, nothing but deliberate sheds failed, and
+// the metrics timeline was captured.
+func TestServingSteadySmoke(t *testing.T) {
+	_, ts := newServingServer(t, 0, 0, 0, engine.Affinity{})
+	tr := servingTrace(t, loadgen.Config{
+		Scenario: loadgen.ScenarioSteady,
+		Seed:     11,
+		Duration: 2 * time.Second,
+		Rate:     40,
+	})
+	rep, err := loadgen.Run(context.Background(), tr, loadgen.RunConfig{
+		BaseURL:     ts.URL,
+		SampleEvery: 100 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("steady run completed nothing: %+v", rep)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("steady run at low rate had %d errors (first kinds: %+v)", rep.Errors, rep.PerKind)
+	}
+	if rep.Unexpected5xx != 0 {
+		t.Fatalf("unexpected 5xx responses: %d", rep.Unexpected5xx)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("metrics timeline is empty")
+	}
+	if rep.Policy != "affinity" {
+		t.Fatalf("report policy = %q, want affinity", rep.Policy)
+	}
+	if rep.PerKind[string(loadgen.KindMutate)].OK == 0 || rep.PerKind[string(loadgen.KindPinned)].OK == 0 {
+		t.Fatalf("mix did not exercise mutate/pinned paths: %+v", rep.PerKind)
+	}
+}
+
+// TestServingOverloadBurst is the overload regression test: a burst far over
+// capacity against a deliberately tiny pool (1 worker, queue of 2, caches
+// off so every solve costs real work) must shed with prompt 429s while the
+// accepted requests stay bounded, no unexpected 5xx appears, and the process
+// returns to its baseline goroutine count when the storm passes.
+func TestServingOverloadBurst(t *testing.T) {
+	srv, ts := newServingServer(t, -1, 1, 2, engine.Affinity{})
+	srv.QueueWait = 250 * time.Millisecond
+
+	tr := servingTrace(t, loadgen.Config{
+		Scenario:  loadgen.ScenarioBurst,
+		Seed:      13,
+		Duration:  2 * time.Second,
+		Rate:      30,
+		BurstRate: 300, // far beyond what 1 uncached worker can absorb
+		// Solve-only pressure: every event competes for the same queue.
+		Mix: loadgen.Mix{Solve: 1},
+	})
+	before := runtime.NumGoroutine()
+	rep, err := loadgen.Run(context.Background(), tr, loadgen.RunConfig{
+		BaseURL:        ts.URL,
+		RequestTimeout: 10 * time.Second,
+		SampleEvery:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("burst at 10x capacity shed nothing: %+v", rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("burst run completed nothing: %+v", rep)
+	}
+	if rep.Unexpected5xx != 0 {
+		t.Fatalf("unexpected 5xx responses under overload: %d", rep.Unexpected5xx)
+	}
+	// Sheds must be prompt: a 429 is the server refusing work, not queuing
+	// it. The bound is generous for CI noise; the real p99 is milliseconds.
+	if rep.RejectLatency.P99 > 2000 {
+		t.Fatalf("reject p99 = %.1fms; overload rejections must be fast", rep.RejectLatency.P99)
+	}
+	// Accepted requests are bounded by queue-wait + run budget, not by the
+	// whole storm's length.
+	if rep.Latency.P99 > 25000 {
+		t.Fatalf("accepted p99 = %.1fms; queued work must keep its bounded budget", rep.Latency.P99)
+	}
+
+	// Drain and verify the storm leaked nothing: goroutines return to (near)
+	// the pre-run baseline once conns and workers wind down.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("post-storm drain: %v", err)
+	}
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServingPolicyEquivalence replays one solve/sweep/pinned trace (no
+// mutations, so both servers hold identical data throughout) against a FIFO
+// server and an affinity server below capacity: the affinity policy may
+// reorder queue service, but every request must return the identical
+// solution.
+func TestServingPolicyEquivalence(t *testing.T) {
+	tr := servingTrace(t, loadgen.Config{
+		Scenario: loadgen.ScenarioSteady,
+		Seed:     17,
+		Duration: 1500 * time.Millisecond,
+		Rate:     40,
+		Mix:      loadgen.Mix{Solve: 0.6, Sweep: 0.2, Pinned: 0.2},
+	})
+	type key struct {
+		Event, Item int
+	}
+	collect := func(policy engine.Policy) map[key]loadgen.SolveOutcome {
+		var mu sync.Mutex
+		got := map[key]loadgen.SolveOutcome{}
+		_, ts := newServingServer(t, 0, 2, 64, policy)
+		rep, err := loadgen.Run(context.Background(), tr, loadgen.RunConfig{
+			BaseURL:     ts.URL,
+			SampleEvery: -1,
+			Logf:        t.Logf,
+			OnResult: func(o loadgen.SolveOutcome) {
+				mu.Lock()
+				got[key{o.Event, o.Item}] = o
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Rejected != 0 || rep.Errors != 0 {
+			t.Fatalf("below-capacity run shed or failed work (%d rejected, %d errors); equivalence needs full completion", rep.Rejected, rep.Errors)
+		}
+		return got
+	}
+	fifo := collect(engine.FIFO{})
+	aff := collect(engine.Affinity{})
+	if len(fifo) == 0 {
+		t.Fatal("no results captured")
+	}
+	if len(fifo) != len(aff) {
+		t.Fatalf("result counts differ: fifo %d, affinity %d", len(fifo), len(aff))
+	}
+	for k, f := range fifo {
+		a, ok := aff[k]
+		if !ok {
+			t.Fatalf("affinity run missing result for event %d item %d", k.Event, k.Item)
+		}
+		if !reflect.DeepEqual(f, a) {
+			t.Fatalf("results diverge at event %d item %d:\n  fifo     %+v\n  affinity %+v", k.Event, k.Item, f, a)
+		}
+	}
+}
+
+// gate is a registered blocking solver the serving tests use to wedge the
+// worker pool deterministically over HTTP.
+var gate = struct {
+	started chan struct{}
+	release chan struct{}
+}{started: make(chan struct{}, 16), release: make(chan struct{})}
+
+type gateSolver struct{}
+
+func (gateSolver) Name() string { return "test-gate" }
+
+func (gateSolver) Solve(ctx context.Context, ds *dataset.Dataset, r int, opts engine.Options) (*engine.Solution, error) {
+	select {
+	case gate.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-gate.release:
+		return &engine.Solution{IDs: []int{0}, Algorithm: "test-gate"}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func init() { engine.Register(gateSolver{}) }
+
+// TestServingQueueWaitBudget pins the serving-layer overload semantics of
+// the split budget, deterministically wedging the worker with a blocking
+// solver: a full queue is refused 429 immediately, and a solve whose
+// queue-wait budget lapses while the worker is busy is rejected 429 shortly
+// after the worker frees — never held for the full 30s solve ceiling.
+func TestServingQueueWaitBudget(t *testing.T) {
+	srv, ts := newServingServer(t, -1, 1, 1, engine.FIFO{})
+	srv.QueueWait = 100 * time.Millisecond
+
+	// Wedge the worker, then fill the single queue slot.
+	for _, path := range []string{"/v1/jobs", "/v1/jobs"} {
+		resp, body := postJSON(t, ts.URL+path, map[string]any{"dataset": "island", "r": 4, "algorithm": "test-gate"})
+		if resp.StatusCode != 202 {
+			t.Fatalf("gate job submit = HTTP %d (%s), want 202", resp.StatusCode, body)
+		}
+	}
+	<-gate.started // the worker is now inside the first gate solve
+
+	// Queue full: the synchronous path refuses instantly with 429.
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/solve", map[string]any{"dataset": "island", "r": 4})
+	if resp.StatusCode != 429 {
+		t.Fatalf("solve against a full queue = HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 missing Retry-After")
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("queue-full 429 took %v, want immediate", e)
+	}
+
+	// Queue-wait expiry: release the gate 400ms in — well past the 100ms
+	// queue-wait budget — on a second server with queue room. The rejected
+	// solve must come back 429 promptly after the worker frees, not after
+	// the 30s solve ceiling.
+	srv2, ts2 := newServingServer(t, -1, 1, 8, engine.FIFO{})
+	srv2.QueueWait = 100 * time.Millisecond
+	resp, body = postJSON(t, ts2.URL+"/v1/jobs", map[string]any{"dataset": "island", "r": 4, "algorithm": "test-gate"})
+	if resp.StatusCode != 202 {
+		t.Fatalf("gate job submit = HTTP %d (%s), want 202", resp.StatusCode, body)
+	}
+	<-gate.started
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		close(gate.release)
+	}()
+	start = time.Now()
+	resp, body = postJSON(t, ts2.URL+"/v1/solve", map[string]any{"dataset": "island", "r": 4})
+	elapsed := time.Since(start)
+	if resp.StatusCode != 429 {
+		t.Fatalf("solve with lapsed queue-wait = HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("queue-wait 429 took %v; it must arrive when the worker frees, not at the solve ceiling", elapsed)
+	}
+	t.Logf("queue-wait 429 after %v", elapsed)
+	_ = srv
+	_ = srv2
+}

@@ -70,6 +70,31 @@ func (c *Cache) Add(key string, sol *Solution) {
 	}
 }
 
+// Lookup returns the cached solution for key, promoting it and counting a
+// hit when present — but, unlike Get, counting nothing when absent. It is
+// the probe behind the serving fast path, where a miss is followed by a
+// scheduled solve whose own Get records the authoritative miss.
+func (c *Cache) Lookup(key string) (*Solution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sol, true
+}
+
+// Contains reports whether key is resident without touching the hit/miss
+// counters or the LRU order — the scheduler's passive warm probe.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Stats snapshots the hit/miss counters and occupancy.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -223,6 +223,62 @@ func (e *Engine) Metrics() Metrics {
 	return Metrics{Solutions: e.CacheStats(), VecSets: e.VecSetStats()}
 }
 
+// keysFor precomputes the cache keys a scheduled request would hit: the
+// solution-cache key (empty when the request is uncacheable or would not
+// resolve) and the VecSet-tier key (empty when the tier is unavailable or
+// opted out). The scheduler stores them on the job at submission so the
+// affinity policy's warm probe is two map lookups per pending job.
+func (e *Engine) keysFor(req Request) (solKey, vsKey string) {
+	if req.Dataset == nil || req.Opts.Sampler != nil {
+		return "", ""
+	}
+	mode := "rrm"
+	if req.Mode == ModeRRR {
+		mode = "rrr"
+	}
+	if e.cache != nil {
+		if s, err := Resolve(req.Algorithm, req.Dataset.Dim()); err == nil {
+			solKey = solutionKey(req.Dataset, mode, req.RK, s.Name(), req.Opts)
+		}
+	}
+	if e.vecsets != nil && !req.Opts.NoVecSetCache {
+		vsKey = vecsetKey(req.Dataset, req.Opts)
+	}
+	return solKey, vsKey
+}
+
+// warmKeys reports whether either cache tier already holds one of the
+// precomputed keys: the affinity policy's warm probe. Probing is passive —
+// no hit/miss counters move and no LRU order changes.
+func (e *Engine) warmKeys(solKey, vsKey string) bool {
+	if solKey != "" && e.cache != nil && e.cache.Contains(solKey) {
+		return true
+	}
+	return vsKey != "" && e.vecsets != nil && e.vecsets.Contains(vsKey)
+}
+
+// SolveCached answers a request purely from the solution cache, reporting
+// false when it is not resident. It is the serving fast path: warm-hit
+// requests are answered inline at cache-hit speed and never contend for
+// scheduler admission, so overload shedding only ever rejects work that
+// would actually cost something. A present entry counts as a cache hit; an
+// absent one counts nothing — the scheduled solve that follows records the
+// authoritative miss.
+func (e *Engine) SolveCached(req Request) (*Solution, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	solKey, _ := e.keysFor(req)
+	if solKey == "" {
+		return nil, false
+	}
+	sol, ok := e.cache.Lookup(solKey)
+	if !ok {
+		return nil, false
+	}
+	return sol.clone(), true
+}
+
 // withVecSets fills in the engine's VecSet tier when the caller did not
 // bring their own and has not opted out.
 func (e *Engine) withVecSets(opts Options) Options {
@@ -322,6 +378,17 @@ func (e *Engine) Warm(ctx context.Context, ds *dataset.Dataset, r int, opts Opti
 	return err
 }
 
+// solutionKey builds the solution-cache key from every parameter a solve
+// depends on; cached and the scheduler's warm probe share it so the two
+// cannot drift.
+func solutionKey(ds *dataset.Dataset, mode string, rk int, algo string, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%016x|%s|%s|%d|%s|%d|%g|%d|%d|%d",
+		opts.CacheSalt, ds.Fingerprint(), mode, algo, rk, opts.spaceKey(),
+		opts.Gamma, opts.Delta, opts.Samples, opts.MaxSamples, opts.Seed)
+	return b.String()
+}
+
 // cached answers from the LRU when possible, otherwise computes and stores.
 // Cached solutions are cloned on the way in and out so callers can mutate
 // their copy freely. Concurrent identical cold requests are coalesced: the
@@ -334,11 +401,7 @@ func (e *Engine) cached(ctx context.Context, ds *dataset.Dataset, mode string, r
 	if !cacheable {
 		return compute()
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%016x|%s|%s|%d|%s|%d|%g|%d|%d|%d",
-		opts.CacheSalt, ds.Fingerprint(), mode, algo, rk, opts.spaceKey(),
-		opts.Gamma, opts.Delta, opts.Samples, opts.MaxSamples, opts.Seed)
-	key := b.String()
+	key := solutionKey(ds, mode, rk, algo, opts)
 	if sol, ok := e.cache.Get(key); ok {
 		return sol.clone(), nil
 	}

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
@@ -15,11 +14,18 @@ import (
 
 // Scheduler errors.
 var (
-	// ErrQueueFull is returned by Submit when the FIFO queue is at capacity.
+	// ErrQueueFull is returned by Submit and Do when the pending queue is at
+	// capacity: the overload signal serving layers map to 429.
 	ErrQueueFull = errors.New("engine: job queue full")
-	// ErrSchedulerClosed is returned for submissions after Close, and set as
-	// the failure of jobs still queued when the scheduler shut down.
+	// ErrSchedulerClosed is returned for submissions after Close or during
+	// Drain, and set as the failure of jobs still queued when the scheduler
+	// shut down: the drain signal serving layers map to 503.
 	ErrSchedulerClosed = errors.New("engine: scheduler closed")
+	// ErrQueueTimeout fails a job whose queue-wait budget expired before a
+	// worker picked it up. The check runs at dequeue, so a dead-on-arrival
+	// job is rejected cheaply instead of burning a worker on a solve whose
+	// run budget it never got to use.
+	ErrQueueTimeout = errors.New("engine: timed out waiting in queue")
 )
 
 // Mode selects which problem a Request solves.
@@ -49,9 +55,16 @@ type Request struct {
 	Algorithm string
 	// Opts carries the solve parameters.
 	Opts Options
-	// Timeout bounds the solve once it starts running (0 = none). Queue
-	// wait time does not count against it.
+	// Timeout is the run budget: it bounds the solve from the moment a
+	// worker dequeues the job (0 = none). Queue wait time never counts
+	// against it — a job that sat in a saturated queue still gets its full
+	// budget once it starts.
 	Timeout time.Duration
+	// QueueTimeout is the queue-wait budget: how long the job may wait for
+	// a worker, counted from submission (0 = unbounded). A job still queued
+	// when it expires fails with ErrQueueTimeout at dequeue instead of
+	// starting late.
+	QueueTimeout time.Duration
 }
 
 // Run executes the request synchronously on eng, dispatching by Mode. The
@@ -72,6 +85,10 @@ const (
 	JobRunning JobState = "running"
 	JobDone    JobState = "done"
 	JobFailed  JobState = "failed" // includes cancellations and timeouts
+	// JobRejected marks a batch item that was never admitted to the queue
+	// (scheduler draining, or the batch budget expired first). Rejected
+	// items have no job id — nothing ever ran.
+	JobRejected JobState = "rejected"
 )
 
 // JobStatus is an immutable snapshot of one job.
@@ -97,6 +114,13 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed exactly once, when the job finishes
+	// ephemeral jobs (synchronous Do solves) share the pool, counters, and
+	// policy but are dropped from the registry as soon as they finish: they
+	// never appear in Jobs() or consume retention slots.
+	ephemeral bool
+	// solKey/vsKey are the engine cache keys precomputed at submission so
+	// the affinity policy's warm probe is two map lookups per pending job.
+	solKey, vsKey string
 
 	mu       sync.Mutex
 	state    JobState
@@ -134,6 +158,13 @@ func (j *job) status() JobStatus {
 	return st
 }
 
+// result returns the terminal outcome of a finished job.
+func (j *job) result() (*Solution, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sol, j.err
+}
+
 // finish transitions to done/failed and wakes waiters. It is a no-op if the
 // job already finished.
 func (j *job) finish(sol *Solution, err error) bool {
@@ -156,15 +187,20 @@ func (j *job) finish(sol *Solution, err error) bool {
 }
 
 // SchedulerStats is a snapshot of the scheduler counters for GET
-// /v1/metrics: queue pressure plus lifetime totals.
+// /v1/metrics: queue pressure plus lifetime totals. Every field is read
+// under one lock, so a single snapshot is internally coherent: done + failed
+// never exceeds submitted, and queue_depth is the exact pending count at the
+// snapshot instant.
 type SchedulerStats struct {
 	Workers    int    `json:"workers"`
+	Policy     string `json:"policy"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	Running    int64  `json:"running"`
 	Submitted  uint64 `json:"submitted"`
 	Done       uint64 `json:"done"`
 	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
 	Retained   int    `json:"retained_jobs"`
 }
 
@@ -172,19 +208,29 @@ type SchedulerStats struct {
 // /v1/jobs/{id}; the oldest finished jobs are forgotten first.
 const maxRetainedJobs = 2048
 
-// Scheduler runs engine solves on a bounded worker pool fed by a FIFO
-// queue, with per-job cancellation and queryable job states — the
-// throughput layer that turns one engine into a multi-request server. All
-// methods are safe for concurrent use.
+// Scheduler runs engine solves on a bounded worker pool fed by a
+// policy-ordered pending queue, with per-job cancellation and queryable job
+// states — the throughput layer that turns one engine into a multi-request
+// server. The queue is bounded: admission fails fast with ErrQueueFull so
+// serving layers can shed load instead of buffering it. All methods are safe
+// for concurrent use.
 type Scheduler struct {
 	eng     *Engine
-	queue   chan *job
 	workers int
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// space holds one token per free queue slot (admission = take a token;
+	// dequeue returns it). slots holds one token per job sitting in pending
+	// and is what wakes workers; its capacity equals the queue capacity so
+	// the post-admission send can never block.
+	space chan struct{}
+	slots chan struct{}
+
 	mu       sync.Mutex
+	policy   Policy
+	pending  []*job // admitted, not yet dequeued; arrival order
 	jobs     map[string]*job
 	finished []string // retention FIFO of finished job ids
 	retain   int      // finished-job history cap (maxRetainedJobs by default)
@@ -192,14 +238,18 @@ type Scheduler struct {
 	closed   bool
 	shutDown sync.Once // cancel + worker-wait + queue sweep, shared by Close and Drain
 
-	running   atomic.Int64
-	submitted atomic.Uint64
-	nDone     atomic.Uint64
-	nFailed   atomic.Uint64
+	// Lifetime counters, guarded by mu (not atomics) so Stats can read them
+	// together with the queue state as one coherent snapshot.
+	running   int64
+	submitted uint64
+	nDone     uint64
+	nFailed   uint64
+	nRejected uint64
 }
 
 // NewScheduler starts a scheduler over eng with the given worker count
-// (0 = GOMAXPROCS) and queue capacity (0 = 256). Call Close to stop it.
+// (0 = GOMAXPROCS) and queue capacity (0 = 256), running jobs in FIFO order;
+// see SetPolicy. Call Close to stop it.
 func NewScheduler(eng *Engine, workers, queueCap int) *Scheduler {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -210,12 +260,17 @@ func NewScheduler(eng *Engine, workers, queueCap int) *Scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
 		eng:     eng,
-		queue:   make(chan *job, queueCap),
 		workers: workers,
 		baseCtx: ctx,
 		cancel:  cancel,
+		space:   make(chan struct{}, queueCap),
+		slots:   make(chan struct{}, queueCap),
+		policy:  FIFO{},
 		jobs:    make(map[string]*job),
 		retain:  maxRetainedJobs,
+	}
+	for i := 0; i < queueCap; i++ {
+		s.space <- struct{}{}
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -224,16 +279,76 @@ func NewScheduler(eng *Engine, workers, queueCap int) *Scheduler {
 	return s
 }
 
+// SetPolicy swaps the queue-ordering policy (nil resets to FIFO). Safe to
+// call while jobs are in flight; the next dequeue uses the new policy.
+func (s *Scheduler) SetPolicy(p Policy) {
+	if p == nil {
+		p = FIFO{}
+	}
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.baseCtx.Done():
 			return
-		case j := <-s.queue:
-			s.runJob(j)
+		case <-s.slots:
+			if j := s.dequeue(); j != nil {
+				s.runJob(j)
+			}
 		}
 	}
+}
+
+// dequeue pops the policy's pick from the pending queue and frees its
+// admission slot. Every slots token corresponds to one pending append, so
+// pending is non-empty here; the nil return is defense in depth only.
+func (s *Scheduler) dequeue() *job {
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	idx := 0
+	if len(s.pending) > 1 {
+		if _, isFIFO := s.policy.(FIFO); !isFIFO {
+			idx = s.pickLocked()
+		}
+	}
+	j := s.pending[idx]
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+	s.mu.Unlock()
+	s.space <- struct{}{}
+	return j
+}
+
+// pickLocked builds the policy's view of the pending queue — including the
+// per-job warm probe against the engine's cache tiers — and applies it.
+// Called with s.mu held.
+func (s *Scheduler) pickLocked() int {
+	view := make([]PendingJob, len(s.pending))
+	for i, j := range s.pending {
+		j.mu.Lock()
+		enq := j.enqueued
+		j.mu.Unlock()
+		view[i] = PendingJob{
+			Label:      j.req.Label,
+			Algorithm:  j.req.Algorithm,
+			Mode:       j.req.Mode,
+			RK:         j.req.RK,
+			EnqueuedAt: enq,
+			Warm:       s.eng.warmKeys(j.solKey, j.vsKey),
+		}
+	}
+	idx := s.policy.Next(view)
+	if idx < 0 || idx >= len(s.pending) {
+		idx = 0
+	}
+	return idx
 }
 
 func (s *Scheduler) runJob(j *job) {
@@ -250,14 +365,23 @@ func (s *Scheduler) runJob(j *job) {
 		s.finishJob(j, nil, err)
 		return
 	}
+	if j.req.QueueTimeout > 0 && time.Since(j.enqueued) > j.req.QueueTimeout {
+		// Dead on arrival: the queue-wait budget expired before a worker got
+		// here. Reject instead of starting a solve the submitter gave up on.
+		j.mu.Unlock()
+		s.finishJob(j, nil, ErrQueueTimeout)
+		return
+	}
 	j.state = JobRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	s.running.Add(1)
-	defer s.running.Add(-1)
+	s.addRunning(1)
+	defer s.addRunning(-1)
 
 	ctx := j.ctx
 	if j.req.Timeout > 0 {
+		// The run budget is anchored here, at dequeue — queue wait never
+		// eats into it.
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, j.req.Timeout)
 		defer cancel()
@@ -266,22 +390,32 @@ func (s *Scheduler) runJob(j *job) {
 	s.finishJob(j, sol, err)
 }
 
+func (s *Scheduler) addRunning(d int64) {
+	s.mu.Lock()
+	s.running += d
+	s.mu.Unlock()
+}
+
 // finishJob finalizes a job, updates the counters, and trims the retained
-// history.
+// history. Ephemeral jobs leave the registry immediately.
 func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
 	if !j.finish(sol, err) {
 		return
 	}
-	if err != nil {
-		s.nFailed.Add(1)
-	} else {
-		s.nDone.Add(1)
-	}
 	s.mu.Lock()
-	s.finished = append(s.finished, j.id)
-	for len(s.finished) > s.retain {
-		delete(s.jobs, s.finished[0])
-		s.finished = s.finished[1:]
+	if err != nil {
+		s.nFailed++
+	} else {
+		s.nDone++
+	}
+	if j.ephemeral {
+		delete(s.jobs, j.id)
+	} else {
+		s.finished = append(s.finished, j.id)
+		for len(s.finished) > s.retain {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
 	}
 	s.mu.Unlock()
 }
@@ -289,7 +423,8 @@ func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
 // newJob registers a queued job. The job's context is parented to the
 // scheduler, not the submitter: async jobs outlive the HTTP request that
 // created them.
-func (s *Scheduler) newJob(req Request) (*job, error) {
+func (s *Scheduler) newJob(req Request, ephemeral bool) (*job, error) {
+	solKey, vsKey := s.eng.keysFor(req)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -298,42 +433,100 @@ func (s *Scheduler) newJob(req Request) (*job, error) {
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
-		id:       fmt.Sprintf("job-%06d", s.seq),
-		req:      req,
-		ctx:      ctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		state:    JobQueued,
-		enqueued: time.Now(),
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		ephemeral: ephemeral,
+		solKey:    solKey,
+		vsKey:     vsKey,
+		state:     JobQueued,
+		enqueued:  time.Now(),
 	}
 	s.jobs[j.id] = j
-	s.submitted.Add(1)
+	s.submitted++
 	return j, nil
 }
 
 // unregister backs out a job that never made it into the queue.
-func (s *Scheduler) unregister(j *job) {
+func (s *Scheduler) unregister(j *job, rejected bool) {
 	j.cancel()
 	s.mu.Lock()
 	delete(s.jobs, j.id)
+	s.submitted--
+	if rejected {
+		s.nRejected++
+	}
 	s.mu.Unlock()
-	s.submitted.Add(^uint64(0)) // -1
+}
+
+// enqueue appends an admitted job (its space token already taken) to the
+// pending queue and wakes a worker.
+func (s *Scheduler) enqueue(j *job) {
+	s.mu.Lock()
+	s.pending = append(s.pending, j)
+	s.mu.Unlock()
+	s.slots <- struct{}{}
+	s.reapIfClosed(j)
+}
+
+// admit takes an admission token without blocking and enqueues, failing fast
+// with ErrQueueFull when the queue is at capacity.
+func (s *Scheduler) admit(req Request, ephemeral bool) (*job, error) {
+	j, err := s.newJob(req, ephemeral)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-s.space:
+		s.enqueue(j)
+		return j, nil
+	default:
+		s.unregister(j, true)
+		return nil, ErrQueueFull
+	}
 }
 
 // Submit enqueues an asynchronous solve and returns its queued status
 // immediately. It fails fast with ErrQueueFull instead of blocking.
 func (s *Scheduler) Submit(req Request) (JobStatus, error) {
-	j, err := s.newJob(req)
+	j, err := s.admit(req, false)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	return j.status(), nil
+}
+
+// Do admits req and waits for its result: the synchronous serving path.
+// Admission shares the async queue — it fails fast with ErrQueueFull under
+// overload — and the job flows through the same policy and worker pool, but
+// it is ephemeral: it never appears in Jobs() or consumes retention slots.
+// When ctx ends first the job is cancelled and ctx's error is returned.
+func (s *Scheduler) Do(ctx context.Context, req Request) (*Solution, error) {
+	j, err := s.admit(req, true)
+	if err != nil {
+		return nil, err
+	}
 	select {
-	case s.queue <- j:
-		s.reapIfClosed(j)
-		return j.status(), nil
-	default:
-		s.unregister(j)
-		return JobStatus{}, ErrQueueFull
+	case <-j.done:
+		return j.result()
+	case <-ctx.Done():
+		s.abandon(j)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon cancels a job whose submitter stopped waiting, finishing it
+// immediately when it is still queued (the carcass a worker later pops is a
+// no-op).
+func (s *Scheduler) abandon(j *job) {
+	j.cancel()
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		s.finishJob(j, nil, context.Canceled)
 	}
 }
 
@@ -350,19 +543,19 @@ func (s *Scheduler) reapIfClosed(j *job) {
 // submitWait enqueues like Submit but blocks for queue space until ctx is
 // done; Batch uses it so a large batch streams through a small queue.
 func (s *Scheduler) submitWait(ctx context.Context, req Request) (*job, error) {
-	j, err := s.newJob(req)
+	j, err := s.newJob(req, false)
 	if err != nil {
 		return nil, err
 	}
 	select {
-	case s.queue <- j:
-		s.reapIfClosed(j)
+	case <-s.space:
+		s.enqueue(j)
 		return j, nil
 	case <-ctx.Done():
-		s.unregister(j)
+		s.unregister(j, true)
 		return nil, ctx.Err()
 	case <-s.baseCtx.Done():
-		s.unregister(j)
+		s.unregister(j, true)
 		return nil, ErrSchedulerClosed
 	}
 }
@@ -389,18 +582,12 @@ func (s *Scheduler) Cancel(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	j.cancel()
-	j.mu.Lock()
-	queued := j.state == JobQueued
-	j.mu.Unlock()
-	if queued {
-		// Finish now instead of when a worker drains it, so the status is
-		// immediately observable. finish is idempotent, so the worker that
-		// eventually pops the job is a no-op, and the rare race with a
-		// worker that just started it only fails a solve whose context is
-		// already cancelled.
-		s.finishJob(j, nil, context.Canceled)
-	}
+	// Finishing a queued job now instead of when a worker drains it makes
+	// the status immediately observable. finish is idempotent, so the worker
+	// that eventually pops the job is a no-op, and the rare race with a
+	// worker that just started it only fails a solve whose context is
+	// already cancelled.
+	s.abandon(j)
 	return j.status(), true
 }
 
@@ -444,6 +631,23 @@ func (s *Scheduler) Jobs() []JobStatus {
 	return out
 }
 
+// rejectedStatus synthesizes the status of a batch item that was never
+// admitted: nothing ran, so there is no job id.
+func rejectedStatus(req Request, err error) JobStatus {
+	st := JobStatus{
+		State:     JobRejected,
+		Label:     req.Label,
+		Mode:      req.Mode,
+		RK:        req.RK,
+		Algorithm: req.Algorithm,
+		Error:     err.Error(),
+	}
+	if st.Mode == "" {
+		st.Mode = ModeRRM
+	}
+	return st
+}
+
 // Batch fans a list of requests through the worker pool and waits for all
 // of them, returning one final status per request in order. Individual
 // solver failures are reported in their item's status, not as a call error;
@@ -477,21 +681,76 @@ func (s *Scheduler) Batch(ctx context.Context, reqs []Request) ([]JobStatus, err
 	return out, nil
 }
 
-// Stats snapshots the scheduler counters.
+// BatchPartial is Batch with per-item accept/reject semantics: it always
+// returns one status per request, never a wholesale error. Items the
+// scheduler could not admit before ctx expired (or because it is draining)
+// come back in state "rejected"; items admitted but unfinished when ctx
+// expires are cancelled and report their cancellation. Completed items keep
+// their results either way — a batch that ran out of budget still returns
+// everything it finished.
+func (s *Scheduler) BatchPartial(ctx context.Context, reqs []Request) []JobStatus {
+	out := make([]JobStatus, len(reqs))
+	jobs := make([]*job, len(reqs))
+	for i, req := range reqs {
+		j, err := s.submitWait(ctx, req)
+		if err != nil {
+			// Admission stopped (batch budget gone or scheduler draining):
+			// everything not yet submitted is rejected for the same reason.
+			for k := i; k < len(reqs); k++ {
+				out[k] = rejectedStatus(reqs[k], err)
+			}
+			break
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			// Cancel this and every later outstanding item; abandon
+			// force-finishes queued carcasses so the statuses below are
+			// terminal, not point-in-time.
+			for _, jj := range jobs[i:] {
+				if jj != nil {
+					s.abandon(jj)
+				}
+			}
+			<-j.done
+		}
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Stats snapshots the scheduler counters. The snapshot is taken under one
+// lock, so it is internally coherent: done+failed can never exceed
+// submitted, and queue_depth is exact.
 func (s *Scheduler) Stats() SchedulerStats {
 	s.mu.Lock()
-	retained := len(s.jobs)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
 	return SchedulerStats{
 		Workers:    s.workers,
-		QueueDepth: len(s.queue),
-		QueueCap:   cap(s.queue),
-		Running:    s.running.Load(),
-		Submitted:  s.submitted.Load(),
-		Done:       s.nDone.Load(),
-		Failed:     s.nFailed.Load(),
-		Retained:   retained,
+		Policy:     s.policy.Name(),
+		QueueDepth: len(s.pending),
+		QueueCap:   cap(s.space),
+		Running:    s.running,
+		Submitted:  s.submitted,
+		Done:       s.nDone,
+		Failed:     s.nFailed,
+		Rejected:   s.nRejected,
+		Retained:   len(s.jobs),
 	}
+}
+
+// lifetime reports the settled/submitted counters for Drain's convergence
+// check, coherently.
+func (s *Scheduler) lifetime() (settled, submitted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nDone + s.nFailed, s.submitted
 }
 
 // markClosed flips the scheduler into its no-new-submissions state.
@@ -510,8 +769,10 @@ func (s *Scheduler) shutdown() {
 		s.wg.Wait()
 		for {
 			select {
-			case j := <-s.queue:
-				s.finishJob(j, nil, ErrSchedulerClosed)
+			case <-s.slots:
+				if j := s.dequeue(); j != nil {
+					s.finishJob(j, nil, ErrSchedulerClosed)
+				}
 			default:
 				return
 			}
@@ -540,7 +801,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		// Every registered submission has finished when the lifetime
 		// counters meet; unregistered (never-enqueued) submissions are
 		// backed out of submitted, so the comparison is exact.
-		if s.nDone.Load()+s.nFailed.Load() >= s.submitted.Load() {
+		if settled, submitted := s.lifetime(); settled >= submitted {
 			return nil
 		}
 		select {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"github.com/rankregret/rankregret/internal/algohd"
 	"github.com/rankregret/rankregret/internal/dataset"
@@ -40,10 +39,12 @@ type VecSetCache struct {
 	items   map[string]*list.Element
 	byIdent map[string]*list.Element // newest entry per dataset identity
 
-	builds     atomic.Uint64
-	extensions atomic.Uint64
-	reuses     atomic.Uint64
-	repairs    atomic.Uint64
+	// Outcome counters, guarded by mu (not atomics) so Stats reads them
+	// together with the occupancy as one coherent snapshot.
+	builds     uint64
+	extensions uint64
+	reuses     uint64
+	repairs    uint64
 }
 
 type vecsetEntry struct {
@@ -93,9 +94,7 @@ func NewVecSetCache(capacity int) *VecSetCache {
 // handed out.
 func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Options, m int) (*algohd.VecSet, error) {
 	ho := opts.hd()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%016x|%s|%d|%d", opts.CacheSalt, ds.Fingerprint(), opts.spaceKey(), ho.EffectiveGamma(), opts.Seed)
-	key := b.String()
+	key := vecsetKey(ds, opts)
 	var ib strings.Builder
 	fmt.Fprintf(&ib, "%s|%d|%s|%d|%d", opts.CacheSalt, ds.Lineage(), opts.spaceKey(), ho.EffectiveGamma(), opts.Seed)
 	ident := ib.String()
@@ -140,17 +139,40 @@ func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Opt
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	switch outcome {
 	case algohd.VecSetBuilt:
-		c.builds.Add(1)
+		c.builds++
 	case algohd.VecSetExtended:
-		c.extensions.Add(1)
+		c.extensions++
 	case algohd.VecSetRepaired:
-		c.repairs.Add(1)
+		c.repairs++
 	default:
-		c.reuses.Add(1)
+		c.reuses++
 	}
+	c.mu.Unlock()
 	return vs, nil
+}
+
+// vecsetKey builds the tier's exact lookup key; Acquire and the scheduler's
+// warm probe share it so the two cannot drift. (m is deliberately absent —
+// see the type comment.)
+func vecsetKey(ds *dataset.Dataset, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%016x|%s|%d|%d",
+		opts.CacheSalt, ds.Fingerprint(), opts.spaceKey(), opts.hd().EffectiveGamma(), opts.Seed)
+	return b.String()
+}
+
+// Contains reports whether the tier holds an entry for key without touching
+// the LRU order — the scheduler's passive warm probe. A resident entry may
+// still be mid-build; affinity routing to it is right anyway, since the
+// build is coalesced and the routed solve shares it.
+func (c *VecSetCache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
 }
 
 // repairSource returns the identity index's entry for ds's lineage when it
@@ -186,17 +208,17 @@ func repairable(deltas []dataset.Delta) bool {
 	return true
 }
 
-// Stats snapshots the build/extension/reuse/repair counters and occupancy.
+// Stats snapshots the build/extension/reuse/repair counters and occupancy,
+// coherently under one lock.
 func (c *VecSetCache) Stats() VecSetStats {
 	c.mu.Lock()
-	length, capacity := c.ll.Len(), c.cap
-	c.mu.Unlock()
+	defer c.mu.Unlock()
 	return VecSetStats{
-		Builds:     c.builds.Load(),
-		Extensions: c.extensions.Load(),
-		Reuses:     c.reuses.Load(),
-		Repairs:    c.repairs.Load(),
-		Len:        length,
-		Cap:        capacity,
+		Builds:     c.builds,
+		Extensions: c.extensions,
+		Reuses:     c.reuses,
+		Repairs:    c.repairs,
+		Len:        c.ll.Len(),
+		Cap:        c.cap,
 	}
 }

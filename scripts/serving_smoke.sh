@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Serving smoke: boot rrmd over two small deterministic datasets, drive it
+# with the seeded open-loop load generator — a steady scenario and a burst
+# scenario — and require both runs healthy: nonzero completed throughput,
+# zero unexpected 5xx responses, and a near-zero error rate. Rejections
+# (429/503) are fine; they are the overload design working. The reports are
+# written to BENCH_serving_steady.json / BENCH_serving_burst.json for CI
+# upload.
+set -euo pipefail
+
+ADDR="127.0.0.1:18081"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+STEADY_SECS="${STEADY_SECS:-15}"
+BURST_SECS="${BURST_SECS:-10}"
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/rrmd" ./cmd/rrmd
+go build -o "$WORK/rrmload" ./cmd/rrmload
+
+# Two small deterministic CSV datasets (2 and 5 attributes) so individual
+# solves stay cheap: the smoke measures the serving path under load, not
+# one giant solve. The demo datasets (-demo) are far heavier and belong in
+# manual benchmarking, not a CI gate.
+python3 - "$WORK/pair.csv" "$WORK/cars.csv" <<'EOF'
+import random, sys
+random.seed(11)
+with open(sys.argv[1], "w") as f:
+    for _ in range(1200):
+        f.write(",".join(f"{random.random():.6f}" for _ in range(2)) + "\n")
+with open(sys.argv[2], "w") as f:
+    for _ in range(800):
+        f.write(",".join(f"{random.random():.6f}" for _ in range(5)) + "\n")
+EOF
+
+# Explicit pool shape so the smoke behaves the same on any runner: a small
+# worker pool, a bounded queue, and a short queue-wait budget so overload
+# sheds promptly with 429s instead of letting requests rot.
+"$WORK/rrmd" -addr "$ADDR" -policy affinity -workers 4 -queue 64 \
+  -queue-wait 2s -load "pair=$WORK/pair.csv" -load "cars=$WORK/cars.csv" &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null
+
+# max_samples bounds the per-solve cost so the smoke measures the serving
+# path on any runner; rates are sized for small CI machines.
+echo "== steady scenario =="
+"$WORK/rrmload" -url "$BASE" -scenario steady -seed 7 \
+  -rate 15 -duration "${STEADY_SECS}s" -timeout 15s -max-samples 400 \
+  -save-trace "$WORK/trace_steady.json" -out BENCH_serving_steady.json
+
+echo "== burst scenario =="
+"$WORK/rrmload" -url "$BASE" -scenario burst -seed 7 \
+  -rate 8 -burst-rate 120 -burst-period 3s -burst-len 1s \
+  -duration "${BURST_SECS}s" -timeout 15s -max-samples 400 \
+  -out BENCH_serving_burst.json
+
+echo "== assertions =="
+for f in BENCH_serving_steady.json BENCH_serving_burst.json; do
+  OK=$(jq -r '.ok' "$f")
+  RPS=$(jq -r '.throughput_rps' "$f")
+  BAD=$(jq -r '.unexpected_5xx' "$f")
+  ERRPCT=$(jq -r '.error_rate * 100 | floor' "$f")
+  echo "$f: ok=$OK throughput=${RPS}req/s unexpected_5xx=$BAD error_rate=${ERRPCT}%"
+  if [ "$OK" -le 0 ]; then
+    echo "$f: no requests completed" >&2
+    exit 1
+  fi
+  if [ "$BAD" != "0" ]; then
+    echo "$f: $BAD unexpected 5xx responses" >&2
+    exit 1
+  fi
+  # Deliberate sheds report as rejections, not errors; anything above a few
+  # percent of real errors (timeouts, 4xx) means the serving path is sick.
+  if [ "$ERRPCT" -ge 5 ]; then
+    echo "$f: error rate ${ERRPCT}% >= 5%" >&2
+    jq '.per_kind' "$f" >&2
+    exit 1
+  fi
+done
+
+# The daemon must still be healthy after the storm.
+curl -sf "$BASE/healthz" >/dev/null
+curl -sf "$BASE/v1/metrics" | jq -S '{scheduler, engine}'
+
+kill "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null || true
+echo "serving smoke OK: steady + burst healthy, reports written"
