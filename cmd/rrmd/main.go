@@ -46,6 +46,7 @@ import (
 	"github.com/rankregret/rankregret/internal/cliutil"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/engine"
+	"github.com/rankregret/rankregret/internal/faultfs"
 	"github.com/rankregret/rankregret/internal/store"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
@@ -86,6 +87,11 @@ func run(args []string) error {
 		warmStart = fs.Bool("warm-start", true, "rebuild the VecSet cache tier for recovered datasets in the background after a restart")
 		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs and the final snapshot")
 		compact   = fs.Bool("compact", false, "offline mode: recover the store, write a verified snapshot, prune the WAL, print status, and exit")
+
+		faultInject = fs.String("fault-inject", "", "chaos testing: scripted store write faults, e.g. 'op=sync,err=enospc,after=10,count=5' (see internal/faultfs; NEVER set in production)")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed for probabilistic -fault-inject rules")
+		healBackoff = fs.Duration("heal-backoff", 0, "initial self-heal retry delay after a store fault (0 = 100ms default); doubles with jitter up to -heal-backoff-max")
+		healMax     = fs.Duration("heal-backoff-max", 0, "self-heal retry delay ceiling (0 = 5s default)")
 	)
 	fs.Func("load", "name=path of a CSV dataset to load at startup (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -110,14 +116,29 @@ func run(args []string) error {
 		return fmt.Errorf("-compact requires -data-dir")
 	}
 
+	var storeFS faultfs.FS
+	if *faultInject != "" {
+		rules, err := faultfs.ParseScript(*faultInject)
+		if err != nil {
+			return err
+		}
+		inj := faultfs.New(faultfs.Disk, *faultSeed)
+		inj.Arm(rules...)
+		storeFS = inj
+		log.Printf("store: FAULT INJECTION ARMED (%d rule(s), seed %d) — chaos testing only", len(rules), *faultSeed)
+	}
+
 	st, err := store.Open(store.Options{
-		Dir:           *dataDir,
-		Retain:        *retainVer,
-		SegmentBytes:  *segBytes,
-		SnapshotEvery: *snapEvery,
-		Sync:          sync,
-		SyncInterval:  syncIv,
-		Logf:          log.Printf,
+		Dir:            *dataDir,
+		Retain:         *retainVer,
+		SegmentBytes:   *segBytes,
+		SnapshotEvery:  *snapEvery,
+		Sync:           sync,
+		SyncInterval:   syncIv,
+		FS:             storeFS,
+		HealBackoff:    *healBackoff,
+		HealMaxBackoff: *healMax,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		return err

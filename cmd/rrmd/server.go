@@ -284,18 +284,41 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// storeErrStatus maps store mutation failures to HTTP statuses: a wedged
-// WAL or a closed store is a server-side durability fault (503, so clients
-// retry elsewhere and alerting keyed on 5xx fires), not a bad request.
+// storeErrStatus maps store mutation failures to HTTP statuses: a degraded
+// store, a wedged WAL, or a closed store is a server-side durability fault
+// (503, so clients retry elsewhere and alerting keyed on 5xx fires), not a
+// bad request.
 func storeErrStatus(err error) int {
 	switch {
 	case errors.Is(err, store.ErrUnknownDataset):
 		return http.StatusNotFound
-	case errors.Is(err, store.ErrWALFailed), errors.Is(err, store.ErrClosed):
+	case errors.Is(err, store.ErrDegraded), errors.Is(err, store.ErrWALFailed), errors.Is(err, store.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeStoreErr answers a failed store mutation. Durability faults come back
+// as 503 with a Retry-After hint and a machine-readable reason ("degraded"
+// while the self-healing loop works the fault), so load generators and
+// proxies can distinguish a degraded store from a draining scheduler without
+// parsing prose.
+func (s *Server) writeStoreErr(w http.ResponseWriter, err error) {
+	status := storeErrStatus(err)
+	if status != http.StatusServiceUnavailable {
+		writeErr(w, status, err)
+		return
+	}
+	// The mutation that trips the fault surfaces ErrWALFailed directly;
+	// every later one gets ErrDegraded. Both are the same condition to a
+	// client: the store is degraded and healing.
+	reason := "store_unavailable"
+	if errors.Is(err, store.ErrDegraded) || errors.Is(err, store.ErrWALFailed) {
+		reason = "degraded"
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	writeErrReason(w, status, err, reason)
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -304,14 +327,49 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// writeErrReason is writeErr plus a machine-readable reason field, used by
+// the rejection paths (degraded store, draining scheduler) whose 503s load
+// clients need to tell apart.
+func writeErrReason(w http.ResponseWriter, status int, err error, reason string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "reason": reason})
+}
+
 func writeOK(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
+// handleHealth is the liveness/readiness probe. A healthy server answers
+// 200; a degraded store or a draining scheduler answers 503 with a
+// machine-readable state and reason, so orchestrators stop routing new
+// traffic while reads keep being served on the open connections.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeOK(w, http.StatusOK, map[string]any{"ok": true, "cache": s.eng.CacheStats(), "metrics": s.metrics()})
+	health := s.store.Health()
+	state, reason := "healthy", ""
+	switch {
+	case health.State != store.HealthHealthy:
+		state, reason = string(health.State), health.Reason
+	case s.sched.Stats().Draining:
+		state, reason = "draining", "scheduler draining for shutdown"
+	}
+	body := map[string]any{
+		"ok":      state == "healthy",
+		"state":   state,
+		"cache":   s.eng.CacheStats(),
+		"metrics": s.metrics(),
+	}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	status := http.StatusOK
+	if state != "healthy" {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	}
+	writeOK(w, status, body)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -386,7 +444,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.AddDataset(name, ds); err != nil {
-		writeErr(w, storeErrStatus(err), err)
+		s.writeStoreErr(w, err)
 		return
 	}
 	writeOK(w, http.StatusCreated, info(name, ds))
@@ -443,7 +501,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	// becomes visible; an error means nothing was published.
 	next, err := s.store.AppendRows(name, req.Rows, s.retain())
 	if err != nil {
-		writeErr(w, storeErrStatus(err), err)
+		s.writeStoreErr(w, err)
 		return
 	}
 	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Appended: len(req.Rows)})
@@ -486,7 +544,7 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 	}
 	next, err := s.store.DeleteRows(name, req.IDs, s.retain())
 	if err != nil {
-		writeErr(w, storeErrStatus(err), err)
+		s.writeStoreErr(w, err)
 		return
 	}
 	// The deleted count is the number of unique ids: exact even if another
@@ -638,16 +696,18 @@ func statusOf(err error) int {
 // statuses cannot drift apart again.
 func (s *Server) writeOverload(w http.ResponseWriter, err error) bool {
 	var status int
+	reason := "queue"
 	switch {
 	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, engine.ErrQueueTimeout):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, engine.ErrSchedulerClosed):
 		status = http.StatusServiceUnavailable
+		reason = "draining"
 	default:
 		return false
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-	writeErr(w, status, err)
+	writeErrReason(w, status, err, reason)
 	return true
 }
 
@@ -868,7 +928,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// condition, not a per-item one: answer 503 so clients retry elsewhere.
 	if draining > 0 && draining == len(statuses) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		writeErr(w, http.StatusServiceUnavailable, engine.ErrSchedulerClosed)
+		writeErrReason(w, http.StatusServiceUnavailable, engine.ErrSchedulerClosed, "draining")
 		return
 	}
 	if rejected > 0 {
@@ -1030,7 +1090,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.store.Drop(name); err != nil {
-		writeErr(w, storeErrStatus(err), err)
+		s.writeStoreErr(w, err)
 		return
 	}
 	writeOK(w, http.StatusOK, map[string]any{"dropped": name})

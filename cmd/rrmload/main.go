@@ -207,6 +207,8 @@ func printSummary(rep *loadgen.Report, outPath string) {
 	fmt.Printf("latency (ok): p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
 		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
 	if rep.Rejected > 0 {
+		fmt.Printf("rejects by cause: queue(429)=%d degraded(503)=%d drain(503)=%d\n",
+			rep.RejectedQueue, rep.RejectedDegraded, rep.RejectedDrain)
 		fmt.Printf("latency (rejects): p50=%.1fms p99=%.1fms — sheds should be fast\n",
 			rep.RejectLatency.P50, rep.RejectLatency.P99)
 	}
@@ -214,8 +216,9 @@ func printSummary(rep *loadgen.Report, outPath string) {
 		fmt.Printf("sweep items: %d accepted, %d rejected\n", rep.BatchItemsAccepted, rep.BatchItemsRejected)
 	}
 	for kind, kr := range rep.PerKind {
-		fmt.Printf("  %-6s offered=%d ok=%d rejected=%d errors=%d p50=%.1fms p99=%.1fms\n",
-			kind, kr.Offered, kr.OK, kr.Rejected, kr.Errors, kr.Latency.P50, kr.Latency.P99)
+		fmt.Printf("  %-6s offered=%d ok=%d rejected=%d (q=%d deg=%d drain=%d) errors=%d p50=%.1fms p99=%.1fms\n",
+			kind, kr.Offered, kr.OK, kr.Rejected, kr.RejectedQueue, kr.RejectedDegraded, kr.RejectedDrain,
+			kr.Errors, kr.Latency.P50, kr.Latency.P99)
 	}
 	if outPath != "" {
 		fmt.Printf("report written to %s\n", outPath)

@@ -202,6 +202,10 @@ type SchedulerStats struct {
 	Failed     uint64 `json:"failed"`
 	Rejected   uint64 `json:"rejected"`
 	Retained   int    `json:"retained_jobs"`
+	// Draining is true once Close or Drain has begun: no new jobs are
+	// admitted (submissions get ErrSchedulerClosed), and health probes
+	// report the server as draining.
+	Draining bool `json:"draining"`
 }
 
 // maxRetainedJobs bounds the finished-job history kept for GET
@@ -742,6 +746,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Failed:     s.nFailed,
 		Rejected:   s.nRejected,
 		Retained:   len(s.jobs),
+		Draining:   s.closed,
 	}
 }
 

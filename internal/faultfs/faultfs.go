@@ -1,0 +1,60 @@
+// Package faultfs is the filesystem seam of the durability layer: a small
+// interface covering exactly the operations the store's WAL and snapshot
+// writers perform (open, write, sync, rename, remove), a zero-cost
+// passthrough to the real disk, and a deterministic fault injector that can
+// fail the Nth operation with ENOSPC or EIO, tear a write short, or add
+// fsync latency.
+//
+// Production code always runs against Disk — the passthrough adds no
+// wrapper around *os.File, so the hot path is untouched. Tests and chaos
+// harnesses wrap Disk in an Injector and script faults against it, turning
+// "hope the disk never hiccups" into deterministic, replayable scenarios.
+// Read paths (replay, snapshot load, directory listing) deliberately stay on
+// the os package: recovery code must work on whatever bytes reached the
+// disk, and injecting read faults would only test the error plumbing of
+// code that already fails explicitly.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable-file surface the store needs: append bytes, force
+// them to stable storage, close. *os.File satisfies it directly.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the write-side filesystem seam. Every durability-relevant mutation
+// of the data directory goes through one of these five operations.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (snapshot publish).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name (pruning, tmp-file cleanup).
+	Remove(name string) error
+}
+
+// diskFS is the production passthrough: direct os calls, the *os.File
+// returned as-is.
+type diskFS struct{}
+
+func (diskFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// Return a nil interface, not a nil *os.File in a non-nil interface.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error             { return os.Remove(name) }
+
+// Disk is the real filesystem. The zero value of every store option should
+// resolve to it.
+var Disk FS = diskFS{}

@@ -22,12 +22,18 @@ type LatencyMS struct {
 }
 
 // KindReport breaks the outcome counts and latency down by request kind.
+// The Rejected* fields split sheds by what refused the request: a full
+// scheduler queue (429), a degraded store refusing mutations (503 with
+// reason "degraded"), or a draining server (other 503s).
 type KindReport struct {
-	Offered  int       `json:"offered"`
-	OK       int       `json:"ok"`
-	Rejected int       `json:"rejected"`
-	Errors   int       `json:"errors"`
-	Latency  LatencyMS `json:"latency"`
+	Offered          int       `json:"offered"`
+	OK               int       `json:"ok"`
+	Rejected         int       `json:"rejected"`
+	RejectedQueue    int       `json:"rejected_queue,omitempty"`
+	RejectedDegraded int       `json:"rejected_degraded,omitempty"`
+	RejectedDrain    int       `json:"rejected_drain,omitempty"`
+	Errors           int       `json:"errors"`
+	Latency          LatencyMS `json:"latency"`
 }
 
 // Sample is one point of the /v1/metrics timeline: queue pressure and cache
@@ -49,21 +55,28 @@ type Sample struct {
 // Unexpected5xx is the subset of errors with a 5xx status other than 503 —
 // the count that should be zero on a healthy server and that CI asserts on.
 type Report struct {
-	Schema     int    `json:"schema"`
-	Scenario   string `json:"scenario"`
-	Seed       int64  `json:"seed"`
-	Policy     string `json:"policy"`
-	BaseURL    string `json:"base_url"`
+	Schema     int     `json:"schema"`
+	Scenario   string  `json:"scenario"`
+	Seed       int64   `json:"seed"`
+	Policy     string  `json:"policy"`
+	BaseURL    string  `json:"base_url"`
 	DurationMS float64 `json:"duration_ms"`
 
-	Offered       int     `json:"offered"`
-	OK            int     `json:"ok"`
-	Rejected      int     `json:"rejected"`
-	Errors        int     `json:"errors"`
-	Unexpected5xx int     `json:"unexpected_5xx"`
-	ThroughputRPS float64 `json:"throughput_rps"`
-	RejectRate    float64 `json:"reject_rate"`
-	ErrorRate     float64 `json:"error_rate"`
+	Offered  int `json:"offered"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"`
+	// Rejected splits by rejecting subsystem: RejectedQueue is scheduler
+	// admission (429), RejectedDegraded is the store refusing mutations
+	// while degraded (503 + reason "degraded"), RejectedDrain is a
+	// shutting-down server (other 503s).
+	RejectedQueue    int     `json:"rejected_queue"`
+	RejectedDegraded int     `json:"rejected_degraded"`
+	RejectedDrain    int     `json:"rejected_drain"`
+	Errors           int     `json:"errors"`
+	Unexpected5xx    int     `json:"unexpected_5xx"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+	RejectRate       float64 `json:"reject_rate"`
+	ErrorRate        float64 `json:"error_rate"`
 
 	// Latency covers successful requests; RejectLatency covers sheds, and
 	// should stay small — an overloaded server must say no quickly.

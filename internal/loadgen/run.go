@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,9 +59,28 @@ type outcome struct {
 	status   int
 	latMS    float64
 	rejected bool
-	errText  string
+	// reason classifies a rejection: "queue" (429 admission), "degraded"
+	// (503 from the degraded store), or "drain" (other 503s).
+	reason  string
+	errText string
 	// batch item counts (sweep events only)
 	itemsOK, itemsRejected int
+}
+
+// classifyReject names what refused a shed request. The server tags its
+// 503 bodies with a machine-readable reason field; absent one (old servers,
+// proxies), a 503 is attributed to draining.
+func classifyReject(status int, errText string) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "queue"
+	case status != http.StatusServiceUnavailable:
+		return ""
+	case strings.Contains(errText, `"reason":"degraded"`):
+		return "degraded"
+	default:
+		return "drain"
+	}
 }
 
 // runner carries the shared state of one Run.
@@ -314,6 +334,9 @@ func (r *runner) fire(ctx context.Context, idx int, ev *Event) {
 	}
 	o.latMS = float64(time.Since(start).Microseconds()) / 1000
 	o.rejected = o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable
+	if o.rejected {
+		o.reason = classifyReject(o.status, o.errText)
+	}
 	if o.errText != "" && !o.rejected && r.cfg.Logf != nil {
 		r.cfg.Logf("event %d (%s %s): %s", idx, ev.Kind, ev.Dataset, o.errText)
 	}
@@ -488,6 +511,17 @@ func (r *runner) report(trace *Trace, wall time.Duration) *Report {
 		case o.rejected:
 			rep.Rejected++
 			kr.Rejected++
+			switch o.reason {
+			case "queue":
+				rep.RejectedQueue++
+				kr.RejectedQueue++
+			case "degraded":
+				rep.RejectedDegraded++
+				kr.RejectedDegraded++
+			default:
+				rep.RejectedDrain++
+				kr.RejectedDrain++
+			}
 			rejLat = append(rejLat, o.latMS)
 		case o.errText != "":
 			rep.Errors++

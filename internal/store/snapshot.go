@@ -22,8 +22,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/faultfs"
 )
 
 const snapMagic = "rrsnaps1"
@@ -103,11 +105,44 @@ func decodeRegistry(data []byte) (map[string]*Versions, error) {
 	return reg, nil
 }
 
+// snapTmpSuffix marks an in-progress snapshot file; the atomic rename to
+// the final name is what publishes it.
+const snapTmpSuffix = ".tmp"
+
+// sweepSnapshotTmp removes stale snapshot tmp files — the debris of a crash
+// mid-snapshot, which the atomic-rename protocol otherwise leaves on disk
+// forever. Called from Open, before any new snapshot can be in flight, so
+// every snap-*.snap.tmp present is guaranteed stale. Returns how many were
+// removed; removal failures are reported to logf and otherwise ignored (a
+// stale tmp is inert — the next sweep retries).
+func sweepSnapshotTmp(fs faultfs.FS, dir string, logf func(string, ...any)) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapTmpSuffix) {
+			continue
+		}
+		if _, ok := parseSeq(strings.TrimSuffix(name, snapTmpSuffix), snapPrefix, snapSuffix); !ok {
+			continue // not ours; leave foreign files alone
+		}
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			logf("store: sweeping stale snapshot tmp %s: %v", name, err)
+			continue
+		}
+		removed++
+	}
+	return removed
+}
+
 // writeSnapshot atomically writes the registry payload as snap-<seq>.
-func writeSnapshot(dir string, seq uint64, payload []byte) error {
+func writeSnapshot(fs faultfs.FS, dir string, seq uint64, payload []byte) error {
 	final := filepath.Join(dir, snapshotName(seq))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	tmp := final + snapTmpSuffix
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: creating snapshot: %w", err)
 	}
@@ -132,11 +167,13 @@ func writeSnapshot(dir string, seq uint64, payload []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		// Best-effort: a failed remove leaves a stale tmp, which the next
+		// Open's sweep deletes.
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("store: publishing snapshot: %w", err)
 	}
 	syncDir(dir)

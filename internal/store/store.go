@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/faultfs"
+	"github.com/rankregret/rankregret/internal/xrand"
 )
 
 // Defaults for Options zero values.
@@ -46,7 +48,53 @@ var (
 	// ErrWouldEmpty rejects deletes that would leave a dataset with no rows
 	// (the registry never serves an empty dataset).
 	ErrWouldEmpty = errors.New("store: refusing to delete every row")
+	// ErrDegraded is wrapped by mutations rejected while the store is in the
+	// degraded state: durability cannot currently be promised, so mutations
+	// are refused while reads keep serving from memory. The self-healing
+	// loop clears the state once the underlying fault passes; serving layers
+	// should map this to 503 + Retry-After.
+	ErrDegraded = errors.New("store: degraded, mutations temporarily rejected")
 )
+
+// HealthState is the store's position in the health state machine:
+//
+//	healthy --(WAL write/sync failure, snapshot failure)--> degraded
+//	degraded --(self-heal: fresh segment + re-sync snapshot)--> healthy
+//	healthy|degraded --(Close)--> closed
+//
+// In degraded, reads (lookups, solves over registered datasets) keep
+// working from memory; mutations fail fast with ErrDegraded.
+type HealthState string
+
+const (
+	HealthHealthy  HealthState = "healthy"
+	HealthDegraded HealthState = "degraded"
+	HealthClosed   HealthState = "closed"
+)
+
+// Degradation reasons, machine-readable for /healthz and alerting.
+const (
+	// ReasonWALFailed: a WAL write or fsync failed; the writer is wedged
+	// until the healer replaces it.
+	ReasonWALFailed = "wal_failed"
+	// ReasonSnapshotError: a snapshot cut or persist failed; replay cost is
+	// unbounded (and the disk is likely full) until a snapshot lands.
+	ReasonSnapshotError = "snapshot_error"
+)
+
+// Health is the machine-readable health report behind /healthz and
+// GET /v1/store/status.
+type Health struct {
+	State  HealthState `json:"state"`
+	Reason string      `json:"reason,omitempty"`
+	Detail string      `json:"detail,omitempty"`
+	// Since is when the current degraded episode began (zero when healthy).
+	Since time.Time `json:"since,omitzero"`
+	// HealAttempts / HealSuccesses count self-healing tries and completed
+	// recoveries over the store's lifetime.
+	HealAttempts  uint64 `json:"heal_attempts"`
+	HealSuccesses uint64 `json:"heal_successes"`
+}
 
 // Options configures Open.
 type Options struct {
@@ -68,6 +116,15 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncInterval is the flush period under SyncInterval (0 = 100ms).
 	SyncInterval time.Duration
+	// FS is the write-side filesystem seam (nil = the real disk). Tests and
+	// the chaos harness pass a faultfs.Injector here; reads always go to the
+	// OS directly (see faultfs).
+	FS faultfs.FS
+	// HealBackoff is the self-healing loop's initial retry delay after a
+	// failed heal attempt (0 = 100ms); it doubles with jitter up to
+	// HealMaxBackoff (0 = 5s).
+	HealBackoff    time.Duration
+	HealMaxBackoff time.Duration
 	// Logf, when set, receives recovery and pruning diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -84,6 +141,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncInterval <= 0 {
 		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = faultfs.Disk
+	}
+	if o.HealBackoff <= 0 {
+		o.HealBackoff = 100 * time.Millisecond
+	}
+	if o.HealMaxBackoff <= 0 {
+		o.HealMaxBackoff = 5 * time.Second
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -202,10 +268,11 @@ type Status struct {
 	Snapshots   uint64 `json:"snapshots_written"`
 	SnapshotLag int    `json:"snapshot_lag"`
 	// SnapshotError carries the last automatic-snapshot failure (empty once
-	// one succeeds); mutations keep committing through it.
+	// one succeeds); a failure also degrades the store until healed.
 	SnapshotError string       `json:"snapshot_error,omitempty"`
 	Datasets      int          `json:"datasets"`
 	Recovery      RecoveryInfo `json:"recovery"`
+	Health        Health       `json:"health"`
 }
 
 // Summary is the cheap durability digest for hot paths (metrics, health
@@ -217,6 +284,12 @@ type Summary struct {
 	SnapshotLag   int    `json:"snapshot_lag"`
 	WALBytes      int64  `json:"wal_bytes"`
 	SnapshotError string `json:"snapshot_error,omitempty"`
+	// State/Reason mirror Health for metrics scrapers; HealAttempts and
+	// HealSuccesses count self-healing activity since open.
+	State         HealthState `json:"state"`
+	Reason        string      `json:"reason,omitempty"`
+	HealAttempts  uint64      `json:"heal_attempts"`
+	HealSuccesses uint64      `json:"heal_successes"`
 }
 
 // Store is the durable registry. All methods are safe for concurrent use;
@@ -241,11 +314,27 @@ type Store struct {
 	walBytes     int64         // on-disk WAL total, tracked so Summary never stats
 	closed       bool
 
+	// Health state machine (see HealthState). Mutations check health under
+	// the same lock they hold for the WAL append, so a degraded store can
+	// never ack a record replay would lose.
+	health         HealthState
+	degradedReason string
+	degradedDetail string
+	degradedSince  time.Time
+	healAttempts   uint64
+	healSuccesses  uint64
+
 	recovery  RecoveryInfo
 	recovered []string // names restored by Open, sorted
 
 	stopSync chan struct{}
 	syncDone chan struct{}
+
+	// healKick wakes the healLoop when the store degrades (buffered so
+	// enterDegradedLocked never blocks under the lock).
+	healKick chan struct{}
+	stopHeal chan struct{}
+	healDone chan struct{}
 }
 
 // Open recovers (or initializes) a store over opts.Dir: load the newest
@@ -254,12 +343,15 @@ type Store struct {
 // ephemeral store.
 func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	st := &Store{opts: opts, reg: make(map[string]*Versions)}
+	st := &Store{opts: opts, reg: make(map[string]*Versions), health: HealthHealthy}
 	if opts.Dir == "" {
 		return st, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	if n := sweepSnapshotTmp(opts.FS, opts.Dir, opts.Logf); n > 0 {
+		opts.Logf("store: swept %d stale snapshot tmp file(s)", n)
 	}
 	startSeq, err := st.loadLatestSnapshot()
 	if err != nil {
@@ -274,9 +366,14 @@ func Open(opts Options) (*Store, error) {
 		st.recovered = append(st.recovered, name)
 	}
 	sort.Strings(st.recovered)
-	if st.wal, err = openWALWriter(opts.Dir, maxSeq+1); err != nil {
+	if st.wal, err = openWALWriter(opts.FS, opts.Dir, maxSeq+1); err != nil {
 		return nil, err
 	}
+	// The heal channels exist before the boot snapshot so a boot-snapshot
+	// failure's degrade can kick the (not yet started) loop.
+	st.healKick = make(chan struct{}, 1)
+	st.stopHeal = make(chan struct{})
+	st.healDone = make(chan struct{})
 	st.walBytes = walBytesOnDisk(opts.Dir)
 	st.sinceSnap = st.recovery.RecordsReplayed
 	// A boot snapshot is mandatory after a torn or gapped replay: the next
@@ -302,9 +399,9 @@ func Open(opts Options) (*Store, error) {
 				return nil, fmt.Errorf("store: boot snapshot: %w", err)
 			}
 			// The replayed WAL is complete and intact; the snapshot was a
-			// replay-cost optimization. Log (finishCutLocked already set
-			// snapshot_error) and let the next threshold retry.
-			st.opts.Logf("store: boot snapshot failed, continuing with full WAL: %v", err)
+			// replay-cost optimization. finishCutLocked has already degraded
+			// the store; the healer retries once it starts below.
+			st.opts.Logf("store: boot snapshot failed, opening degraded: %v", err)
 		}
 	}
 	if opts.Sync == SyncInterval {
@@ -312,6 +409,7 @@ func Open(opts Options) (*Store, error) {
 		st.syncDone = make(chan struct{})
 		go st.syncLoop()
 	}
+	go st.healLoop()
 	return st, nil
 }
 
@@ -485,7 +583,9 @@ func (st *Store) encodeEvent(ev Event) ([]byte, error) {
 
 // logPayload makes a pre-encoded event durable per the sync policy,
 // rotating the segment when it would overflow. Called with st.mu
-// write-held, before the event is published.
+// write-held, before the event is published. Any failure wedges the writer
+// (see walWriter.wedge) and degrades the store; the self-healing loop takes
+// it from there.
 func (st *Store) logPayload(payload []byte) error {
 	if st.wal == nil {
 		return nil
@@ -493,21 +593,50 @@ func (st *Store) logPayload(payload []byte) error {
 	if st.wal.size > int64(len(segMagic)) &&
 		st.wal.size+recordHeader+int64(len(payload)) > st.opts.SegmentBytes {
 		if err := st.wal.rotate(st.wal.seq + 1); err != nil {
+			st.enterDegradedLocked(ReasonWALFailed, err)
 			return err
 		}
 		st.walBytes += int64(len(segMagic))
 	}
 	if err := st.wal.append(payload); err != nil {
+		st.enterDegradedLocked(ReasonWALFailed, err)
 		return err
 	}
 	st.walBytes += recordHeader + int64(len(payload))
 	if st.opts.Sync == SyncAlways {
 		if err := st.wal.sync(); err != nil {
+			st.enterDegradedLocked(ReasonWALFailed, err)
 			return err
 		}
 	}
 	st.sinceSnap++
 	return nil
+}
+
+// enterDegradedLocked moves the store to degraded and wakes the healer.
+// Idempotent: the first fault's reason and detail are kept until healed.
+// Called with st.mu write-held.
+func (st *Store) enterDegradedLocked(reason string, err error) {
+	if st.closed || st.health != HealthHealthy {
+		return
+	}
+	st.health = HealthDegraded
+	st.degradedReason = reason
+	st.degradedDetail = err.Error()
+	st.degradedSince = time.Now()
+	st.opts.Logf("store: entering degraded (%s): %v", reason, err)
+	if st.healKick != nil {
+		select {
+		case st.healKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// degradedErrLocked builds the mutation-rejection error for the current
+// degraded episode. Callers hold st.mu (read or write).
+func (st *Store) degradedErrLocked() error {
+	return fmt.Errorf("%w (%s): %s", ErrDegraded, st.degradedReason, st.degradedDetail)
 }
 
 // maybeSnapshotLocked starts an automatic snapshot when the WAL has grown
@@ -519,12 +648,16 @@ func (st *Store) logPayload(payload []byte) error {
 // logged and surfaced in Status/Summary, and the next threshold retries.
 // Called with st.mu write-held.
 func (st *Store) maybeSnapshotLocked() {
-	if st.wal == nil || st.opts.SnapshotEvery <= 0 || st.sinceSnap < st.opts.SnapshotEvery || st.snapInFlight {
+	if st.wal == nil || st.opts.SnapshotEvery <= 0 || st.sinceSnap < st.opts.SnapshotEvery ||
+		st.snapInFlight || st.health != HealthHealthy {
 		return
 	}
 	seq, view, err := st.cutLocked()
 	if err != nil {
+		// The cut is a WAL rotation; its failure means the WAL writer is
+		// wedged, not just the snapshot.
 		st.snapErr = err
+		st.enterDegradedLocked(ReasonWALFailed, err)
 		st.opts.Logf("store: snapshot cut failed: %v", err)
 		return
 	}
@@ -555,7 +688,7 @@ func (st *Store) cutLocked() (uint64, map[string][]*dataset.Dataset, error) {
 // persistCut encodes and writes a cut as snap-<seq>. It takes no locks —
 // the view is immutable — so mutations and reads proceed while it runs.
 func (st *Store) persistCut(seq uint64, view map[string][]*dataset.Dataset) error {
-	return writeSnapshot(st.opts.Dir, seq, encodeRegistry(view))
+	return writeSnapshot(st.opts.FS, st.opts.Dir, seq, encodeRegistry(view))
 }
 
 // finishCutLocked records a persist attempt's outcome: on success the
@@ -569,7 +702,13 @@ func (st *Store) finishCutLocked(seq uint64, err error) error {
 	}
 	if err != nil {
 		st.snapErr = err
-		st.opts.Logf("store: snapshot %d failed (next threshold retries): %v", seq, err)
+		// A failed snapshot degrades the store: the disk is likely full, the
+		// WAL would grow without bound, and replay cost is no longer bounded.
+		// The healer retries (with backoff) rather than waiting for the next
+		// record threshold — which a degraded store would never reach, since
+		// it rejects mutations.
+		st.enterDegradedLocked(ReasonSnapshotError, err)
+		st.opts.Logf("store: snapshot %d failed (healer retries): %v", seq, err)
 		return err
 	}
 	prev := st.snapSeq
@@ -597,20 +736,24 @@ func (st *Store) awaitSnapshotLocked() {
 // pruneBelow removes snapshots and segments with sequence < keep, keeping
 // the tracked WAL total in step with the disk.
 func (st *Store) pruneBelow(keep uint64) {
-	if _, _, err := removeBelow(st.opts.Dir, snapPrefix, snapSuffix, keep); err != nil {
+	if _, _, err := removeBelow(st.opts.FS, st.opts.Dir, snapPrefix, snapSuffix, keep); err != nil {
 		st.opts.Logf("store: pruning snapshots: %v", err)
 	}
-	_, bytes, err := removeBelow(st.opts.Dir, segPrefix, segSuffix, keep)
+	_, bytes, err := removeBelow(st.opts.FS, st.opts.Dir, segPrefix, segSuffix, keep)
 	st.walBytes -= bytes
 	if err != nil {
 		st.opts.Logf("store: pruning WAL segments: %v", err)
 	}
 }
 
-// syncLoop is the SyncInterval flusher. It talks to the walWriter directly
-// (its own mutex covers the file ops), never taking st.mu, so a slow fsync
-// stalls only the mutation that races it on w.mu — not every reader. Close
-// stops this loop before closing the WAL, so w.f stays valid throughout.
+// syncLoop is the SyncInterval flusher. It grabs the current walWriter under
+// a read lock (the healer swaps writers), then syncs through the writer's
+// own mutex, so a slow fsync stalls only the mutation that races it on w.mu
+// — not every reader. Close stops this loop before closing the WAL, so w.f
+// stays valid throughout. A sync failure wedges the writer (nothing past the
+// last good sync can be promised durable), so the loop degrades the store —
+// but only if that writer is still the live one, not a husk the healer has
+// already replaced.
 func (st *Store) syncLoop() {
 	defer close(st.syncDone)
 	t := time.NewTicker(st.opts.SyncInterval)
@@ -621,10 +764,18 @@ func (st *Store) syncLoop() {
 		case <-st.stopSync:
 			return
 		case <-t.C:
-			err := st.wal.sync()
+			st.mu.RLock()
+			w := st.wal
+			st.mu.RUnlock()
+			err := w.sync()
 			msg := ""
 			if err != nil {
 				msg = err.Error()
+				st.mu.Lock()
+				if w == st.wal {
+					st.enterDegradedLocked(ReasonWALFailed, err)
+				}
+				st.mu.Unlock()
 			}
 			if msg != lastErr && msg != "" {
 				st.opts.Logf("store: interval sync: %v", err)
@@ -632,6 +783,119 @@ func (st *Store) syncLoop() {
 			lastErr = msg
 		}
 	}
+}
+
+// healLoop is the self-healing goroutine: woken by enterDegradedLocked, it
+// retries tryHeal with jittered exponential backoff until the store is
+// healthy (or closed). One loop per store; started by Open for durable
+// stores only.
+func (st *Store) healLoop() {
+	defer close(st.healDone)
+	// Jitter is seeded per store; determinism across runs does not matter
+	// here (chaos tests assert convergence, not exact retry times), but the
+	// seeded source keeps the store free of global-rand dependencies.
+	rng := xrand.New(1)
+	for {
+		select {
+		case <-st.stopHeal:
+			return
+		case <-st.healKick:
+		}
+		backoff := st.opts.HealBackoff
+		for !st.tryHeal() {
+			// Full jitter on [backoff/2, backoff): desynchronizes retry storms
+			// when many stores share one recovering disk.
+			d := backoff/2 + time.Duration(rng.Float64()*float64(backoff/2))
+			select {
+			case <-st.stopHeal:
+				return
+			case <-time.After(d):
+			}
+			if backoff *= 2; backoff > st.opts.HealMaxBackoff {
+				backoff = st.opts.HealMaxBackoff
+			}
+		}
+	}
+}
+
+// tryHeal makes one attempt to bring a degraded store back to healthy:
+// open a fresh WAL segment past everything on disk, swap it in for the
+// wedged writer, and cut a mandatory re-sync snapshot at the fresh segment's
+// sequence. The snapshot is what makes the heal sound — replay cannot cross
+// the damaged tail of the old WAL, so nothing appended to the new segment is
+// recoverable until a snapshot at its sequence supersedes the damage.
+// Mutations stay rejected throughout (health is still degraded while the
+// snapshot persists), so the fresh segment cannot take appends early.
+//
+// Returns true when there is nothing left to do: healed, already healthy, or
+// closed. Returns false when the attempt failed and the caller should back
+// off and retry.
+func (st *Store) tryHeal() bool {
+	st.mu.Lock()
+	if st.closed || st.health != HealthDegraded {
+		st.mu.Unlock()
+		return true
+	}
+	// A background persist may still be in flight from before the degrade;
+	// let it land (or fail) first so it cannot finish after our re-sync
+	// snapshot and regress snapSeq. The lock is dropped while waiting.
+	st.awaitSnapshotLocked()
+	if st.closed || st.health != HealthDegraded {
+		st.mu.Unlock()
+		return true
+	}
+	st.healAttempts++
+	attempt := st.healAttempts
+	// The fresh segment must clear both the wedged writer's sequence and
+	// anything on disk: a previous failed attempt can have left a segment
+	// file at a sequence the wedged writer never reached, and its O_EXCL
+	// name would fail this open.
+	newSeq := st.wal.seq + 1
+	if seqs, err := listSeqs(st.opts.Dir, segPrefix, segSuffix); err == nil && len(seqs) > 0 {
+		if last := seqs[len(seqs)-1]; last >= newSeq {
+			newSeq = last + 1
+		}
+	}
+	w, err := openWALWriter(st.opts.FS, st.opts.Dir, newSeq)
+	if err != nil {
+		st.mu.Unlock()
+		st.opts.Logf("store: heal attempt %d: opening fresh segment: %v", attempt, err)
+		return false
+	}
+	// Carry the lifetime counters so records/syncs never go backwards in
+	// metrics across a heal.
+	old := st.wal
+	w.records, w.bytes = old.records, old.bytes
+	w.syncs.Store(old.syncs.Load())
+	st.wal = w
+	_ = old.close() // best-effort; the writer is wedged anyway
+	// Persist the re-sync snapshot off-lock like any other cut, holding the
+	// in-flight slot so Snapshot/Close wait for it.
+	seq, view := w.seq, registryView(st.reg)
+	st.sinceSnap = 0
+	st.snapInFlight = true
+	st.snapDone = make(chan struct{})
+	st.mu.Unlock()
+	werr := st.persistCut(seq, view)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finishCutLocked(seq, werr) != nil {
+		// Still degraded (the reason/detail of the original fault stand);
+		// the next attempt will open yet another segment past this one.
+		return false
+	}
+	// Prune can now see the true on-disk picture; re-derive the tracked
+	// total instead of patching it through the swap.
+	st.walBytes = walBytesOnDisk(st.opts.Dir)
+	if st.closed {
+		return true
+	}
+	st.healSuccesses++
+	st.health = HealthHealthy
+	st.opts.Logf("store: healed after %v degraded (%s); WAL continues at segment %d",
+		time.Since(st.degradedSince).Round(time.Millisecond), st.degradedReason, seq)
+	st.degradedReason, st.degradedDetail, st.degradedSince = "", "", time.Time{}
+	return true
 }
 
 // Names returns the registered dataset names, sorted.
@@ -691,6 +955,9 @@ func (st *Store) Register(name string, ds *dataset.Dataset, retain int) error {
 	if st.closed {
 		return ErrClosed
 	}
+	if st.health == HealthDegraded {
+		return st.degradedErrLocked()
+	}
 	if err := st.logPayload(payload); err != nil {
 		return err
 	}
@@ -709,6 +976,9 @@ func (st *Store) Drop(name string) error {
 	defer st.mu.Unlock()
 	if st.closed {
 		return ErrClosed
+	}
+	if st.health == HealthDegraded {
+		return st.degradedErrLocked()
 	}
 	if _, ok := st.reg[name]; !ok {
 		return fmt.Errorf("%w %q", ErrUnknownDataset, name)
@@ -746,6 +1016,9 @@ func (st *Store) mutate(name string, build func(cur *dataset.Dataset) (*dataset.
 	defer st.mu.Unlock()
 	if st.closed {
 		return nil, ErrClosed
+	}
+	if st.health == HealthDegraded {
+		return nil, st.degradedErrLocked()
 	}
 	// The entry may have been dropped or replaced while we were building;
 	// publishing onto a detached history would silently lose the mutation.
@@ -791,12 +1064,24 @@ func (st *Store) Snapshot() error {
 		st.mu.Unlock()
 		return nil
 	}
+	if st.health == HealthDegraded {
+		// A degraded store's WAL cannot rotate for the cut; the healer owns
+		// recovery (and cuts its own snapshot on the way back).
+		err := st.degradedErrLocked()
+		st.mu.Unlock()
+		return err
+	}
 	st.awaitSnapshotLocked()
-	// awaitSnapshotLocked dropped the lock; Close may have run meanwhile
-	// (and nil'd the WAL's file), so the closed check must repeat.
+	// awaitSnapshotLocked dropped the lock; Close or a degrade may have
+	// happened meanwhile, so both checks must repeat.
 	if st.closed {
 		st.mu.Unlock()
 		return ErrClosed
+	}
+	if st.health == HealthDegraded {
+		err := st.degradedErrLocked()
+		st.mu.Unlock()
+		return err
 	}
 	seq, view, err := st.cutLocked()
 	if err != nil {
@@ -844,15 +1129,43 @@ func (st *Store) Compact() error {
 	return nil
 }
 
+// healthLocked builds the Health report. Called with st.mu held (read or
+// write).
+func (st *Store) healthLocked() Health {
+	h := Health{
+		State:         st.health,
+		HealAttempts:  st.healAttempts,
+		HealSuccesses: st.healSuccesses,
+	}
+	if st.health == HealthDegraded {
+		h.Reason = st.degradedReason
+		h.Detail = st.degradedDetail
+		h.Since = st.degradedSince
+	}
+	return h
+}
+
+// Health reports the store's position in the health state machine; safe to
+// call on every request (no filesystem access).
+func (st *Store) Health() Health {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.healthLocked()
+}
+
 // Summary reports the in-memory durability counters without touching the
 // filesystem; safe to call on every request.
 func (st *Store) Summary() Summary {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	s := Summary{
-		Enabled:     st.wal != nil,
-		SnapshotLag: st.sinceSnap,
-		WALBytes:    st.walBytes,
+		Enabled:       st.wal != nil,
+		SnapshotLag:   st.sinceSnap,
+		WALBytes:      st.walBytes,
+		State:         st.health,
+		Reason:        st.degradedReason,
+		HealAttempts:  st.healAttempts,
+		HealSuccesses: st.healSuccesses,
 	}
 	if st.wal != nil {
 		s.Records = st.wal.records
@@ -876,6 +1189,7 @@ func (st *Store) Status() Status {
 		SnapshotLag: st.sinceSnap,
 		Datasets:    len(st.reg),
 		Recovery:    st.recovery,
+		Health:      st.healthLocked(),
 	}
 	if st.snapErr != nil {
 		s.SnapshotError = st.snapErr.Error()
@@ -916,7 +1230,12 @@ func (st *Store) Close() error {
 		return nil
 	}
 	st.closed = true
+	st.health = HealthClosed
 	st.mu.Unlock()
+	if st.stopHeal != nil {
+		close(st.stopHeal)
+		<-st.healDone
+	}
 	if st.stopSync != nil {
 		close(st.stopSync)
 		<-st.syncDone

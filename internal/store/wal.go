@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/rankregret/rankregret/internal/faultfs"
 )
 
 const (
@@ -152,8 +154,9 @@ func syncDir(dir string) {
 type walWriter struct {
 	mu    sync.Mutex
 	dir   string
-	seq   uint64 // current segment
-	f     *os.File
+	fs    faultfs.FS // write-side filesystem seam (faultfs.Disk in production)
+	seq   uint64     // current segment
+	f     faultfs.File
 	size  int64 // bytes written to the current segment
 	dirty bool  // bytes appended since the last sync
 
@@ -174,8 +177,8 @@ type walWriter struct {
 // openWALWriter starts a fresh segment with the given sequence number.
 // Recovery always rotates to a new segment rather than appending after a
 // possibly-torn tail, so a segment only ever has one writing process.
-func openWALWriter(dir string, seq uint64) (*walWriter, error) {
-	w := &walWriter{dir: dir, seq: seq}
+func openWALWriter(fs faultfs.FS, dir string, seq uint64) (*walWriter, error) {
+	w := &walWriter{dir: dir, fs: fs, seq: seq}
 	if err := w.openSegment(seq); err != nil {
 		return nil, err
 	}
@@ -184,12 +187,17 @@ func openWALWriter(dir string, seq uint64) (*walWriter, error) {
 
 func (w *walWriter) openSegment(seq uint64) error {
 	path := filepath.Join(w.dir, segmentName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: creating WAL segment: %w", err)
 	}
 	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
+		// Remove the magicless husk: replay treats a header-less segment as
+		// torn and stops there, so leaving it behind would make every later
+		// segment unreachable (and its O_EXCL name would block a retried
+		// open at the same sequence).
+		_ = w.fs.Remove(path)
 		return fmt.Errorf("store: writing WAL segment header: %w", err)
 	}
 	syncDir(w.dir)
@@ -373,7 +381,7 @@ func replaySegments(dir string, fromSeq uint64, fn func(payload []byte) error) (
 // removeBelow deletes the dir's prefix/suffix files with sequence < below,
 // returning how many were removed and their total size. Used by snapshot
 // pruning; removal failures are reported but non-fatal to the caller.
-func removeBelow(dir, prefix, suffix string, below uint64) (int, int64, error) {
+func removeBelow(fs faultfs.FS, dir, prefix, suffix string, below uint64) (int, int64, error) {
 	seqs, err := listSeqs(dir, prefix, suffix)
 	if err != nil {
 		return 0, 0, err
@@ -389,7 +397,7 @@ func removeBelow(dir, prefix, suffix string, below uint64) (int, int64, error) {
 		if info, err := os.Stat(path); err == nil {
 			size = info.Size()
 		}
-		if err := os.Remove(path); err != nil {
+		if err := fs.Remove(path); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

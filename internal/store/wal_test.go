@@ -2,12 +2,17 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/faultfs"
 )
 
 // copyDir clones the store files of src into a fresh temp dir, skipping
@@ -180,11 +185,13 @@ func TestWALCorruptionCorpus(t *testing.T) {
 // TestWALWedgesAfterWriteFailure is the durability-contract guard: once an
 // append fails, the segment may hold a partial frame, so the writer must
 // refuse every later append — a record written after garbage would be acked
-// and then silently discarded by replay. State already durable stays
-// recoverable.
+// and then silently discarded by replay. The store surfaces that as the
+// degraded state; while the fault persists (heal attempts keep failing too),
+// mutations stay rejected and state already durable stays recoverable.
 func TestWALWedgesAfterWriteFailure(t *testing.T) {
 	dir := t.TempDir()
-	st := openTest(t, dir, Options{Sync: SyncAlways, SnapshotEvery: -1})
+	inj := faultfs.New(faultfs.Disk, 1)
+	st := openTest(t, dir, Options{Sync: SyncAlways, SnapshotEvery: -1, FS: inj, HealBackoff: 2 * time.Millisecond})
 	if err := st.Register("a", makeDS(t, 2, 4, 0.5), 4); err != nil {
 		t.Fatal(err)
 	}
@@ -192,22 +199,30 @@ func TestWALWedgesAfterWriteFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := digest(st)
-	// Force the next write to fail the way a yanked disk would.
-	st.wal.f.Close()
+	// The disk goes away and stays away: every WAL write fails from here on,
+	// including the heal loop's attempts to open a fresh segment.
+	inj.Arm(faultfs.Rule{Op: faultfs.OpWrite, Path: segPrefix, Err: syscall.EIO})
 	if _, err := st.AppendRows("a", [][]float64{{0.3, 0.4}}, 4); err == nil {
 		t.Fatal("append with a broken WAL succeeded")
 	}
-	// Wedged: later mutations must keep failing rather than append after
-	// whatever the failed write left behind.
-	if _, err := st.AppendRows("a", [][]float64{{0.5, 0.6}}, 4); err == nil || !strings.Contains(err.Error(), "refusing further writes") {
+	// Wedged and degraded: later mutations must keep failing rather than
+	// append after whatever the failed write left behind.
+	if _, err := st.AppendRows("a", [][]float64{{0.5, 0.6}}, 4); err == nil ||
+		!errors.Is(err, ErrDegraded) || !strings.Contains(err.Error(), "refusing further writes") {
 		t.Fatalf("writer not wedged after failure: %v", err)
+	}
+	if h := st.Health(); h.State != HealthDegraded || h.Reason != ReasonWALFailed {
+		t.Fatalf("health = %+v, want degraded/%s", h, ReasonWALFailed)
 	}
 	// The failed mutations were never published...
 	if got := digest(st); got != want {
 		t.Fatalf("failed mutations changed live state:\ngot:\n%s\nwant:\n%s", got, want)
 	}
-	// ...and everything acked before the failure recovers.
-	back := openTest(t, dir, Options{Sync: SyncNever, Retain: 4, SnapshotEvery: -1})
+	// ...and everything acked before the failure recovers. The copy races
+	// heal attempts that create-and-remove husk segments, which copyDir
+	// tolerates; an occasionally caught magicless husk is exactly a torn
+	// tail, which recovery already handles.
+	back := openTest(t, copyDir(t, dir), Options{Sync: SyncNever, Retain: 4, SnapshotEvery: -1})
 	if got := digest(back); got != want {
 		t.Fatalf("recovery after wedge diverged:\ngot:\n%s\nwant:\n%s", got, want)
 	}

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Chaos smoke: boot rrmd with a scripted disk fault (-fault-inject), drive it
+# into degraded mode over HTTP, and verify the degraded-mode contract end to
+# end against a real daemon process:
+#
+#   1. mutations 503 with {"reason":"degraded"} and Retry-After while the
+#      WAL is faulted — solves keep answering 200 from memory;
+#   2. /healthz flips to 503 {"state":"degraded","reason":"wal_failed"};
+#   3. the self-healing loop brings the store back to healthy on its own
+#      once the scripted fault exhausts (no restart, heal counters > 0);
+#   4. post-heal mutations are durable: kill -9, restart WITHOUT fault
+#      injection, and the version window (fingerprints included) must come
+#      back byte-identical.
+#
+# Health and metrics snapshots land in chaos_status.json for CI artifact
+# upload.
+set -euo pipefail
+
+ADDR="127.0.0.1:18084"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/rrmd" ./cmd/rrmd
+
+python3 - "$WORK/cars.csv" <<'EOF'
+import random, sys
+random.seed(7)
+with open(sys.argv[1], "w") as f:
+    for _ in range(300):
+        f.write(",".join(f"{random.random():.6f}" for _ in range(4)) + "\n")
+EOF
+
+start_daemon() {
+  "$WORK/rrmd" -addr "$ADDR" -data-dir "$DATA" -fsync always "$@" &
+  PID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon did not come up" >&2
+  return 1
+}
+
+append_row() {
+  # Prints the HTTP status; body goes to $WORK/append_body.json.
+  curl -s -o "$WORK/append_body.json" -w '%{http_code}' \
+    -X POST "$BASE/v1/datasets/cars/rows" \
+    -d '{"rows":[[0.11,0.22,0.33,0.44]]}'
+}
+
+echo "== boot with a scripted WAL fault (every wal write fails for 25 ops after warmup) =="
+# op=write on wal- also fails the healer's fresh-segment header writes, so
+# the store stays visibly degraded until the rule's count exhausts — then
+# the next heal attempt succeeds on its own.
+start_daemon -load "cars=$WORK/cars.csv" \
+  -fault-inject 'op=write,path=wal-,err=enospc,after=6,count=25' \
+  -heal-backoff 100ms -heal-backoff-max 400ms
+
+echo "== mutate until the fault trips =="
+DEGRADED=""
+for i in $(seq 1 20); do
+  CODE=$(append_row)
+  if [ "$CODE" = "503" ]; then
+    DEGRADED=yes
+    break
+  fi
+  [ "$CODE" = "200" ] || { echo "append $i: unexpected HTTP $CODE" >&2; exit 1; }
+done
+[ -n "$DEGRADED" ] || { echo "fault never tripped: 20 appends all succeeded" >&2; exit 1; }
+
+grep -q '"reason":"degraded"' "$WORK/append_body.json" \
+  || { echo "degraded 503 lacks machine-readable reason:" >&2; cat "$WORK/append_body.json" >&2; exit 1; }
+RETRY=$(curl -s -o /dev/null -D - -X POST "$BASE/v1/datasets/cars/rows" \
+  -d '{"rows":[[0.5,0.5,0.5,0.5]]}' | tr -d '\r' | awk -F': ' 'tolower($1)=="retry-after"{print $2}')
+[ -n "$RETRY" ] || { echo "degraded 503 missing Retry-After" >&2; exit 1; }
+
+echo "== degraded: healthz 503, solves still answer =="
+HZ_CODE=$(curl -s -o "$WORK/healthz_degraded.json" -w '%{http_code}' "$BASE/healthz")
+[ "$HZ_CODE" = "503" ] || { echo "degraded healthz = HTTP $HZ_CODE" >&2; exit 1; }
+jq -e '.state == "degraded" and .reason == "wal_failed" and (.ok | not)' \
+  "$WORK/healthz_degraded.json" >/dev/null \
+  || { echo "degraded healthz body wrong:" >&2; cat "$WORK/healthz_degraded.json" >&2; exit 1; }
+curl -sf -X POST "$BASE/v1/solve" -d '{"dataset":"cars","r":5,"algorithm":"hdrrm","max_samples":500}' >/dev/null \
+  || { echo "solve failed while store degraded; reads must keep serving" >&2; exit 1; }
+
+echo "== wait for self-heal (no restart) =="
+HEALED=""
+for _ in $(seq 1 300); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+    HEALED=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$HEALED" ] || { echo "store never healed" >&2; curl -s "$BASE/healthz" >&2; exit 1; }
+
+curl -sf "$BASE/v1/metrics" | jq -S . > "$WORK/metrics_healed.json"
+jq -e '.store.heal_successes >= 1 and .store.state == "healthy"' "$WORK/metrics_healed.json" >/dev/null \
+  || { echo "heal counters missing from metrics:" >&2; cat "$WORK/metrics_healed.json" >&2; exit 1; }
+
+echo "== post-heal mutations ack and survive kill -9 =="
+CODE=$(append_row)
+[ "$CODE" = "200" ] || { echo "post-heal append = HTTP $CODE" >&2; cat "$WORK/append_body.json" >&2; exit 1; }
+curl -sf "$BASE/v1/datasets/cars/versions" | jq -S . > "$WORK/versions_before.json"
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_daemon -load "cars=$WORK/cars.csv"   # no fault injection this time
+curl -sf "$BASE/v1/datasets/cars/versions" | jq -S . > "$WORK/versions_after.json"
+diff -u "$WORK/versions_before.json" "$WORK/versions_after.json"
+
+jq -n --slurpfile degraded "$WORK/healthz_degraded.json" \
+      --slurpfile healed "$WORK/metrics_healed.json" \
+      --slurpfile status <(curl -sf "$BASE/v1/store/status") \
+      '{degraded_healthz: $degraded[0], healed_metrics: $healed[0], final_status: $status[0]}' \
+  > chaos_status.json
+
+RECOVERED=$(jq -r '.final_status.store.recovery.datasets' chaos_status.json)
+if [ "$RECOVERED" != "1" ]; then
+  echo "expected 1 recovered dataset, got $RECOVERED" >&2
+  cat chaos_status.json >&2
+  exit 1
+fi
+
+kill "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null || true
+echo "chaos smoke OK: degraded 503s classified, reads served throughout, self-heal without restart, post-heal acks survived kill -9"
