@@ -77,6 +77,7 @@ func run(args []string) error {
 		queueWait = fs.Duration("queue-wait", 0, "queue-wait budget for synchronous solves before a 429 (0 = same as -timeout); the solve's own timeout starts when it leaves the queue")
 		solvePar  = fs.Int("solve-parallelism", 0, "default per-solve worker bound for HDRRM scoring passes (0 = GOMAXPROCS); requests override with the parallelism field")
 		retainVer = fs.Int("retain-versions", DefaultRetainVersions, "dataset versions kept solvable per name (older versions age out)")
+		traceSlow = fs.Duration("trace-slow", 0, "log the per-stage span breakdown (queue/cache/build/solve/store) of every request slower than this (0 = off); traces are always retrievable at /v1/trace/{id}")
 		demo      = fs.Bool("demo", false, "preload the simulated paper datasets (simisland, simnba, simweather)")
 		seed      = fs.Int64("seed", 1, "seed for -demo dataset generation")
 
@@ -173,6 +174,7 @@ func run(args []string) error {
 	srv.SolveParallelism = *solvePar
 	srv.RetainVersions = *retainVer
 	srv.QueueWait = *queueWait
+	srv.TraceSlow = *traceSlow
 	srv.SetPolicy(pol)
 	// Startup loads must not clobber what recovery just rebuilt: a daemon
 	// restarted with its usual -load/-demo flags keeps the recovered

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/obs"
+	"github.com/rankregret/rankregret/internal/store"
+)
+
+// DefaultTraceRing is how many recent traced requests the daemon retains for
+// GET /v1/trace/{id} and GET /v1/traces.
+const DefaultTraceRing = 256
+
+// instrument wires the server's one metrics registry: latency histograms
+// recorded by the engine, scheduler, and store, plus scrape-time collectors
+// over the exact same subsystem snapshots /v1/metrics serializes — one
+// source of truth, two renderings. Called once by NewServerWith.
+func (s *Server) instrument() {
+	reg := obs.NewRegistry()
+	s.obs = reg
+	s.traces = obs.NewTraceRing(DefaultTraceRing)
+	s.eng.Instrument(reg)
+	s.sched.Instrument(reg)
+	s.store.Instrument(reg)
+	s.solveDur = reg.Histogram("rrmd_solve_duration_seconds",
+		"End-to-end successful /v1/solve latency, cache hits included.", nil)
+
+	// Engine cache tiers (engine.Metrics in the JSON surface).
+	reg.CounterFunc("rrmd_cache_hits_total", "Solution-cache hits.",
+		func() float64 { return float64(s.eng.CacheStats().Hits) })
+	reg.CounterFunc("rrmd_cache_misses_total", "Solution-cache misses.",
+		func() float64 { return float64(s.eng.CacheStats().Misses) })
+	reg.GaugeFunc("rrmd_cache_entries", "Solution-cache occupancy.",
+		func() float64 { return float64(s.eng.CacheStats().Len) })
+	reg.GaugeFunc("rrmd_cache_capacity", "Solution-cache capacity.",
+		func() float64 { return float64(s.eng.CacheStats().Cap) })
+	reg.CounterFunc("rrmd_vecset_builds_total", "VecSet-tier cold builds.",
+		func() float64 { return float64(s.eng.VecSetStats().Builds) })
+	reg.CounterFunc("rrmd_vecset_extensions_total", "VecSet-tier sample-stream extensions.",
+		func() float64 { return float64(s.eng.VecSetStats().Extensions) })
+	reg.CounterFunc("rrmd_vecset_reuses_total", "VecSet-tier pure reuses.",
+		func() float64 { return float64(s.eng.VecSetStats().Reuses) })
+	reg.CounterFunc("rrmd_vecset_repairs_total", "VecSet-tier incremental delta repairs.",
+		func() float64 { return float64(s.eng.VecSetStats().Repairs) })
+	reg.GaugeFunc("rrmd_vecset_entries", "VecSet-tier occupancy.",
+		func() float64 { return float64(s.eng.VecSetStats().Len) })
+
+	// Scheduler (engine.SchedulerStats in the JSON surface).
+	reg.CounterFunc("rrmd_jobs_submitted_total", "Jobs admitted to the scheduler.",
+		func() float64 { return float64(s.sched.Stats().Submitted) })
+	reg.CounterFunc("rrmd_jobs_done_total", "Jobs finished successfully.",
+		func() float64 { return float64(s.sched.Stats().Done) })
+	reg.CounterFunc("rrmd_jobs_failed_total", "Jobs finished with an error.",
+		func() float64 { return float64(s.sched.Stats().Failed) })
+	reg.CounterFunc("rrmd_jobs_rejected_total", "Jobs refused at admission (queue full or draining).",
+		func() float64 { return float64(s.sched.Stats().Rejected) })
+	reg.GaugeFunc("rrmd_queue_depth", "Jobs waiting in the scheduler queue.",
+		func() float64 { return float64(s.sched.Stats().QueueDepth) })
+	reg.GaugeFunc("rrmd_queue_capacity", "Scheduler queue capacity.",
+		func() float64 { return float64(s.sched.Stats().QueueCap) })
+	reg.GaugeFunc("rrmd_jobs_running", "Jobs currently running.",
+		func() float64 { return float64(s.sched.Stats().Running) })
+	reg.GaugeFunc("rrmd_workers", "Scheduler worker count.",
+		func() float64 { return float64(s.sched.Stats().Workers) })
+	reg.GaugeFunc("rrmd_scheduler_draining", "1 while the scheduler is draining for shutdown.",
+		func() float64 { return b2f(s.sched.Stats().Draining) })
+
+	// Registry and durability layer (store.Summary in the JSON surface).
+	reg.GaugeFunc("rrmd_datasets", "Registered datasets.",
+		func() float64 { return float64(s.store.Len()) })
+	reg.CounterFunc("rrmd_store_records_total", "WAL records appended since open.",
+		func() float64 { return float64(s.store.Summary().Records) })
+	reg.CounterFunc("rrmd_store_syncs_total", "WAL fsyncs completed since open.",
+		func() float64 { return float64(s.store.Summary().Syncs) })
+	reg.CounterFunc("rrmd_store_snapshots_total", "Snapshots persisted since open.",
+		func() float64 { return float64(s.store.Summary().Snapshots) })
+	reg.CounterFunc("rrmd_store_heal_attempts_total", "Self-heal attempts since open.",
+		func() float64 { return float64(s.store.Summary().HealAttempts) })
+	reg.CounterFunc("rrmd_store_heal_successes_total", "Completed self-heals since open.",
+		func() float64 { return float64(s.store.Summary().HealSuccesses) })
+	reg.GaugeFunc("rrmd_store_wal_bytes", "On-disk WAL size in bytes.",
+		func() float64 { return float64(s.store.Summary().WALBytes) })
+	reg.GaugeFunc("rrmd_store_snapshot_lag", "WAL records since the last snapshot cut.",
+		func() float64 { return float64(s.store.Summary().SnapshotLag) })
+	reg.GaugeFunc("rrmd_store_degraded", "1 while the store is degraded (mutations rejected, healer active).",
+		func() float64 { return b2f(s.store.Summary().State == store.HealthDegraded) })
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// withObs is the edge middleware: it mints the request id (honoring an
+// inbound X-Request-Id), opens the request trace, threads it down the stack
+// via the request context, and on the way out retains the trace (when any
+// stage recorded a span) and logs the per-stage breakdown for requests
+// slower than TraceSlow.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		total := tr.Finish()
+		if tr.SpanCount() == 0 {
+			// Untraced surface (metrics scrapes, listings): nothing to keep.
+			return
+		}
+		s.traces.Put(tr)
+		if s.TraceSlow > 0 && total >= s.TraceSlow {
+			log.Printf("rrmd: slow request %s %s id=%s total=%.2fms %s",
+				r.Method, r.URL.Path, id, float64(total)/float64(time.Millisecond), tr.Breakdown())
+		}
+	})
+}
+
+// handlePrometheus serves the registry in Prometheus text exposition format:
+//
+//	GET /metrics
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	if err := s.obs.WritePrometheus(w); err != nil {
+		log.Printf("rrmd: writing /metrics: %v", err)
+	}
+}
+
+// handleTrace serves one retained request trace:
+//
+//	GET /v1/trace/{id}
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("no trace for request id %q (the ring keeps the last %d traced requests)", id, DefaultTraceRing))
+		return
+	}
+	writeOK(w, http.StatusOK, tr.Snapshot())
+}
+
+// handleTraces lists the most recent retained traces, newest first:
+//
+//	GET /v1/traces?n=20
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = p
+	}
+	recent := s.traces.Recent(n)
+	out := make([]obs.TraceSnapshot, len(recent))
+	for i, tr := range recent {
+		out[i] = tr.Snapshot()
+	}
+	writeOK(w, http.StatusOK, map[string]any{"traces": out})
+}

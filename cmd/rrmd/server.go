@@ -16,6 +16,7 @@ import (
 	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/eval"
 	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/obs"
 	"github.com/rankregret/rankregret/internal/store"
 )
 
@@ -64,6 +65,19 @@ type Server struct {
 	// and 503 (draining) rejections (0 = 1 second).
 	RetryAfterSeconds int
 
+	// TraceSlow, when positive, logs the per-stage span breakdown of every
+	// request slower than it (the -trace-slow flag). Tracing itself is
+	// always on; this only controls logging.
+	TraceSlow time.Duration
+
+	// obs is the server's one metrics registry: GET /metrics renders it as
+	// Prometheus text, GET /v1/metrics serializes the same underlying
+	// snapshots as JSON. traces retains recent request traces for
+	// GET /v1/trace/{id}; solveDur is the end-to-end solve histogram.
+	obs      *obs.Registry
+	traces   *obs.TraceRing
+	solveDur *obs.Histogram
+
 	// warm tracks the background warm-start per dataset name; warmCtx is
 	// cancelled by Close/Shutdown so an abandoned warm stops mid-solve.
 	warmMu     sync.Mutex
@@ -95,7 +109,7 @@ func NewServerWith(st *store.Store, cacheSize int, maxTimeout time.Duration, wor
 	}
 	eng := engine.New(cacheSize)
 	warmCtx, warmCancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		eng:            eng,
 		sched:          engine.NewScheduler(eng, workers, queueCap),
 		store:          st,
@@ -106,6 +120,8 @@ func NewServerWith(st *store.Store, cacheSize int, maxTimeout time.Duration, wor
 		warmCtx:        warmCtx,
 		warmCancel:     warmCancel,
 	}
+	s.instrument()
+	return s
 }
 
 // SetPolicy swaps the scheduler's queue-ordering policy: engine.FIFO (the
@@ -157,6 +173,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // AddDataset registers ds under name, replacing any previous dataset (and
 // its whole version history) with that name.
 func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
+	return s.addDataset(context.Background(), name, ds)
+}
+
+func (s *Server) addDataset(ctx context.Context, name string, ds *dataset.Dataset) error {
 	if name == "" {
 		return errors.New("rrmd: dataset name must be non-empty")
 	}
@@ -178,7 +198,7 @@ func (s *Server) AddDataset(name string, ds *dataset.Dataset) error {
 		}
 		ds = fresh
 	}
-	return s.store.Register(name, ds, s.retain())
+	return s.store.RegisterCtx(ctx, name, ds, s.retain())
 }
 
 func (s *Server) entry(name string) (*store.Versions, bool) {
@@ -235,7 +255,9 @@ func (s *Server) WarmStart(names []string) {
 		})
 		switch {
 		case err == nil:
-			s.setWarm(name, fmt.Sprintf("warm (%.0fms)", float64(time.Since(start).Microseconds())/1000))
+			// Two decimals so a sub-millisecond warm (a tiny or
+			// already-cached dataset) reads "warm (0.42ms)", not "warm (0ms)".
+			s.setWarm(name, fmt.Sprintf("warm (%.2fms)", float64(time.Since(start).Microseconds())/1000))
 		case s.warmCtx.Err() != nil:
 			s.setWarm(name, "cancelled")
 		default:
@@ -279,9 +301,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/store/status", s.handleStoreStatus)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	return mux
+	return s.withObs(mux)
 }
 
 // storeErrStatus maps store mutation failures to HTTP statuses: a degraded
@@ -317,8 +342,15 @@ func (s *Server) writeStoreErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, store.ErrDegraded) || errors.Is(err, store.ErrWALFailed) {
 		reason = "degraded"
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	s.hintRetry(w)
 	writeErrReason(w, status, err, reason)
+}
+
+// hintRetry sets the Retry-After header every overload/unavailable rejection
+// carries — the one place the hint is computed, so the 429 and the three
+// flavors of 503 cannot drift apart.
+func (s *Server) hintRetry(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -347,19 +379,23 @@ func writeOK(w http.ResponseWriter, status int, v any) {
 // machine-readable state and reason, so orchestrators stop routing new
 // traffic while reads keep being served on the open connections.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	health := s.store.Health()
+	// One metrics snapshot serves the whole probe: the state decision, the
+	// cache digest, and the metrics body all read it, so the probe never
+	// reports a state that disagrees with the stats beside it (and the
+	// scheduler/store locks are taken once, not twice).
+	m := s.metrics()
 	state, reason := "healthy", ""
 	switch {
-	case health.State != store.HealthHealthy:
-		state, reason = string(health.State), health.Reason
-	case s.sched.Stats().Draining:
+	case m.Store.State != store.HealthHealthy:
+		state, reason = string(m.Store.State), m.Store.Reason
+	case m.Scheduler.Draining:
 		state, reason = "draining", "scheduler draining for shutdown"
 	}
 	body := map[string]any{
 		"ok":      state == "healthy",
 		"state":   state,
-		"cache":   s.eng.CacheStats(),
-		"metrics": s.metrics(),
+		"cache":   m.Engine.Solutions,
+		"metrics": m,
 	}
 	if reason != "" {
 		body["reason"] = reason
@@ -367,7 +403,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if state != "healthy" {
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		s.hintRetry(w)
 	}
 	writeOK(w, status, body)
 }
@@ -443,7 +479,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.AddDataset(name, ds); err != nil {
+	if err := s.addDataset(r.Context(), name, ds); err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}
@@ -499,7 +535,7 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	}
 	// The append hits the WAL (per the fsync policy) before the new version
 	// becomes visible; an error means nothing was published.
-	next, err := s.store.AppendRows(name, req.Rows, s.retain())
+	next, err := s.store.AppendRowsCtx(r.Context(), name, req.Rows, s.retain())
 	if err != nil {
 		s.writeStoreErr(w, err)
 		return
@@ -542,7 +578,7 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	next, err := s.store.DeleteRows(name, req.IDs, s.retain())
+	next, err := s.store.DeleteRowsCtx(r.Context(), name, req.IDs, s.retain())
 	if err != nil {
 		s.writeStoreErr(w, err)
 		return
@@ -706,7 +742,7 @@ func (s *Server) writeOverload(w http.ResponseWriter, err error) bool {
 	default:
 		return false
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	s.hintRetry(w)
 	writeErrReason(w, status, err, reason)
 	return true
 }
@@ -731,7 +767,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// is anchored at dequeue inside the scheduler; the queue wait has its own
 	// budget, so a solve that sat in a saturated queue is either rejected
 	// promptly (429) or runs with its full budget intact.
-	sol, ok := s.eng.SolveCached(er)
+	sol, ok := s.eng.SolveCached(r.Context(), er)
 	if !ok {
 		er.QueueTimeout = s.queueWait()
 		ctx, cancel := context.WithTimeout(r.Context(), er.QueueTimeout+er.Timeout)
@@ -744,6 +780,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.solveDur.ObserveSince(start)
 	var est *int
 	if req.EvalSamples > 0 {
 		// The estimator checks ctx, and gets the same budget the solve had.
@@ -927,12 +964,13 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// A batch the draining scheduler rejected in full is a server-level
 	// condition, not a per-item one: answer 503 so clients retry elsewhere.
 	if draining > 0 && draining == len(statuses) {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		writeErrReason(w, http.StatusServiceUnavailable, engine.ErrSchedulerClosed, "draining")
+		s.writeOverload(w, engine.ErrSchedulerClosed)
 		return
 	}
 	if rejected > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		// Partial rejection still hints backoff: some items were shed, so
+		// the client's re-submit of them should wait like a full 429 would.
+		s.hintRetry(w)
 	}
 	writeOK(w, http.StatusOK, map[string]any{
 		"count":      len(items),
@@ -1089,7 +1127,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 //	DELETE /v1/datasets/{name}
 func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := s.store.Drop(name); err != nil {
+	if err := s.store.DropCtx(r.Context(), name); err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}

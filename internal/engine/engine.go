@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/rankregret/rankregret/internal/algohd"
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/funcspace"
+	"github.com/rankregret/rankregret/internal/obs"
 )
 
 // ErrDimension is returned when a 2D-only solver is applied to d != 2.
@@ -159,6 +161,10 @@ type Engine struct {
 	cache   *Cache
 	vecsets *VecSetCache
 
+	// obs is the per-stage latency instrumentation, wired by Instrument
+	// before the engine serves traffic; nil = uninstrumented.
+	obs *engineObs
+
 	// flight coalesces concurrent identical cold requests so a dogpile of
 	// cache misses computes the solve once.
 	flightMu sync.Mutex
@@ -264,10 +270,13 @@ func (e *Engine) warmKeys(solKey, vsKey string) bool {
 // would actually cost something. A present entry counts as a cache hit; an
 // absent one counts nothing — the scheduled solve that follows records the
 // authoritative miss.
-func (e *Engine) SolveCached(req Request) (*Solution, bool) {
+func (e *Engine) SolveCached(ctx context.Context, req Request) (*Solution, bool) {
 	if e.cache == nil {
 		return nil, false
 	}
+	start := time.Now()
+	end := obs.StartSpan(ctx, "cache")
+	defer end()
 	solKey, _ := e.keysFor(req)
 	if solKey == "" {
 		return nil, false
@@ -276,6 +285,7 @@ func (e *Engine) SolveCached(req Request) (*Solution, bool) {
 	if !ok {
 		return nil, false
 	}
+	e.obs.cacheProbe(start)
 	return sol.clone(), true
 }
 
@@ -397,12 +407,28 @@ func solutionKey(ds *dataset.Dataset, mode string, rk int, algo string, opts Opt
 // failed (cancelled, errored, or panicked) computes independently under its
 // own context.
 func (e *Engine) cached(ctx context.Context, ds *dataset.Dataset, mode string, rk int, algo string, opts Options, compute func() (*Solution, error)) (*Solution, error) {
+	// run wraps compute with the "solve" span and stage histogram; the
+	// wrapping never touches solver inputs or outputs, so results are
+	// bit-identical with tracing on or off.
+	run := func() (*Solution, error) {
+		start := time.Now()
+		end := obs.StartSpan(ctx, "solve")
+		sol, err := compute()
+		end()
+		e.obs.solveStage(start)
+		return sol, err
+	}
 	cacheable := e.cache != nil && opts.Sampler == nil
 	if !cacheable {
-		return compute()
+		return run()
 	}
 	key := solutionKey(ds, mode, rk, algo, opts)
-	if sol, ok := e.cache.Get(key); ok {
+	probeStart := time.Now()
+	endProbe := obs.StartSpan(ctx, "cache")
+	sol, ok := e.cache.Get(key)
+	endProbe()
+	e.obs.cacheProbe(probeStart)
+	if ok {
 		return sol.clone(), nil
 	}
 	e.flightMu.Lock()
@@ -420,7 +446,7 @@ func (e *Engine) cached(ctx context.Context, ds *dataset.Dataset, mode string, r
 		if c.err == nil {
 			return c.sol.clone(), nil
 		}
-		sol, err := compute()
+		sol, err := run()
 		if err != nil {
 			return nil, err
 		}
@@ -441,7 +467,7 @@ func (e *Engine) cached(ctx context.Context, ds *dataset.Dataset, mode string, r
 		close(c.done)
 	}()
 
-	sol, err := compute()
+	sol, err := run()
 	if err == nil {
 		stored := sol.clone()
 		e.cache.Add(key, stored)

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/rankregret/rankregret/internal/obs"
+)
+
+// engineObs holds the engine's per-stage latency instruments. It is wired
+// once by Instrument before the engine serves traffic; a nil field set means
+// the engine runs uninstrumented (the package-level Default, unit tests).
+type engineObs struct {
+	stageCache *obs.Histogram // solution-cache probe latency
+	stageSolve *obs.Histogram // solver compute latency (cache misses only)
+}
+
+// Instrument registers the engine's latency histograms with reg and starts
+// recording into them. The same "stage" label dimension carries the cache
+// probe, the VecSet build, and the solver compute, so one query shows where
+// a solve's time went. Call before the engine serves traffic; calling it
+// concurrently with solves is a data race by design (instrumentation is
+// construction-time wiring, not a runtime toggle).
+func (e *Engine) Instrument(reg *obs.Registry) {
+	hv := reg.HistogramVec("rrmd_solve_stage_duration_seconds",
+		"Solve time by stage: cache = solution-cache probe, build = vecset acquire, solve = solver compute.",
+		"stage", nil)
+	e.obs = &engineObs{
+		stageCache: hv.With("cache"),
+		stageSolve: hv.With("solve"),
+	}
+	if e.vecsets != nil {
+		e.vecsets.instrument(hv.With("build"))
+	}
+}
+
+// cacheProbe records one solution-cache probe duration (nil-safe).
+func (o *engineObs) cacheProbe(start time.Time) {
+	if o != nil {
+		o.stageCache.ObserveSince(start)
+	}
+}
+
+// solveStage records one solver-compute duration (nil-safe).
+func (o *engineObs) solveStage(start time.Time) {
+	if o != nil {
+		o.stageSolve.ObserveSince(start)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/obs"
 )
 
 // Scheduler errors.
@@ -121,6 +122,11 @@ type job struct {
 	// solKey/vsKey are the engine cache keys precomputed at submission so
 	// the affinity policy's warm probe is two map lookups per pending job.
 	solKey, vsKey string
+	// trace is the request trace carried across the admit→dequeue handoff
+	// (job ctx is parented to the scheduler, not the request, so context
+	// values do not survive the hop). Set at creation, before the job is
+	// visible to workers; nil for untraced work.
+	trace *obs.Trace
 
 	mu       sync.Mutex
 	state    JobState
@@ -249,6 +255,45 @@ type Scheduler struct {
 	nDone     uint64
 	nFailed   uint64
 	nRejected uint64
+
+	// obs holds the queue-wait and run-duration histograms, labeled by the
+	// dequeue policy in effect when the job ran. Wired by Instrument before
+	// the scheduler serves traffic; nil = uninstrumented.
+	obs *schedObs
+}
+
+// schedObs is the scheduler's latency instrumentation.
+type schedObs struct {
+	queueWait *obs.HistogramVec
+	runDur    *obs.HistogramVec
+}
+
+// Instrument registers the scheduler's queue-wait and run-duration
+// histograms with reg, labeled by dequeue policy. Call before the scheduler
+// serves traffic.
+func (s *Scheduler) Instrument(reg *obs.Registry) {
+	so := &schedObs{
+		queueWait: reg.HistogramVec("rrmd_queue_wait_seconds",
+			"Time a job spent queued between admission and dequeue, by policy.", "policy", nil),
+		runDur: reg.HistogramVec("rrmd_run_duration_seconds",
+			"Time a job spent running (dequeue to finish), by policy.", "policy", nil),
+	}
+	s.mu.Lock()
+	s.obs = so
+	s.mu.Unlock()
+}
+
+// observeRun records one job's queue wait and run duration under the
+// current policy's label.
+func (s *Scheduler) observeRun(wait, run time.Duration) {
+	s.mu.Lock()
+	so, name := s.obs, s.policy.Name()
+	s.mu.Unlock()
+	if so == nil {
+		return
+	}
+	so.queueWait.With(name).Observe(wait.Seconds())
+	so.runDur.With(name).Observe(run.Seconds())
 }
 
 // NewScheduler starts a scheduler over eng with the given worker count
@@ -378,11 +423,19 @@ func (s *Scheduler) runJob(j *job) {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	started := j.started
+	wait := started.Sub(j.enqueued)
 	j.mu.Unlock()
 	s.addRunning(1)
 	defer s.addRunning(-1)
 
 	ctx := j.ctx
+	if j.trace != nil {
+		// Re-attach the trace: j.ctx is parented to the scheduler's base
+		// context, so the submitter's context values did not cross the hop.
+		j.trace.Add("queue", j.enqueued, wait)
+		ctx = obs.WithTrace(ctx, j.trace)
+	}
 	if j.req.Timeout > 0 {
 		// The run budget is anchored here, at dequeue — queue wait never
 		// eats into it.
@@ -391,6 +444,7 @@ func (s *Scheduler) runJob(j *job) {
 		defer cancel()
 	}
 	sol, err := j.req.Run(ctx, s.eng)
+	s.observeRun(wait, time.Since(started))
 	s.finishJob(j, sol, err)
 }
 
@@ -427,7 +481,7 @@ func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
 // newJob registers a queued job. The job's context is parented to the
 // scheduler, not the submitter: async jobs outlive the HTTP request that
 // created them.
-func (s *Scheduler) newJob(req Request, ephemeral bool) (*job, error) {
+func (s *Scheduler) newJob(req Request, ephemeral bool, tr *obs.Trace) (*job, error) {
 	solKey, vsKey := s.eng.keysFor(req)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -445,6 +499,7 @@ func (s *Scheduler) newJob(req Request, ephemeral bool) (*job, error) {
 		ephemeral: ephemeral,
 		solKey:    solKey,
 		vsKey:     vsKey,
+		trace:     tr,
 		state:     JobQueued,
 		enqueued:  time.Now(),
 	}
@@ -477,8 +532,8 @@ func (s *Scheduler) enqueue(j *job) {
 
 // admit takes an admission token without blocking and enqueues, failing fast
 // with ErrQueueFull when the queue is at capacity.
-func (s *Scheduler) admit(req Request, ephemeral bool) (*job, error) {
-	j, err := s.newJob(req, ephemeral)
+func (s *Scheduler) admit(req Request, ephemeral bool, tr *obs.Trace) (*job, error) {
+	j, err := s.newJob(req, ephemeral, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +550,7 @@ func (s *Scheduler) admit(req Request, ephemeral bool) (*job, error) {
 // Submit enqueues an asynchronous solve and returns its queued status
 // immediately. It fails fast with ErrQueueFull instead of blocking.
 func (s *Scheduler) Submit(req Request) (JobStatus, error) {
-	j, err := s.admit(req, false)
+	j, err := s.admit(req, false, nil)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -508,7 +563,7 @@ func (s *Scheduler) Submit(req Request) (JobStatus, error) {
 // it is ephemeral: it never appears in Jobs() or consumes retention slots.
 // When ctx ends first the job is cancelled and ctx's error is returned.
 func (s *Scheduler) Do(ctx context.Context, req Request) (*Solution, error) {
-	j, err := s.admit(req, true)
+	j, err := s.admit(req, true, obs.TraceFrom(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -547,7 +602,7 @@ func (s *Scheduler) reapIfClosed(j *job) {
 // submitWait enqueues like Submit but blocks for queue space until ctx is
 // done; Batch uses it so a large batch streams through a small queue.
 func (s *Scheduler) submitWait(ctx context.Context, req Request) (*job, error) {
-	j, err := s.newJob(req, false)
+	j, err := s.newJob(req, false, nil)
 	if err != nil {
 		return nil, err
 	}

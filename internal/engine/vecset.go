@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/rankregret/rankregret/internal/algohd"
 	"github.com/rankregret/rankregret/internal/dataset"
+	"github.com/rankregret/rankregret/internal/obs"
 )
 
 // VecSetCache is the first tier of the engine's two-tier cache: shared
@@ -45,6 +47,12 @@ type VecSetCache struct {
 	extensions uint64
 	reuses     uint64
 	repairs    uint64
+
+	// buildDur records acquire latency for the outcomes that did real work
+	// (build, extension, repair); pure reuses are excluded so the histogram
+	// reflects precomputation cost, not lookup noise. Wired by
+	// Engine.Instrument before serving; nil = uninstrumented.
+	buildDur *obs.Histogram
 }
 
 type vecsetEntry struct {
@@ -135,7 +143,10 @@ func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Opt
 	// concurrent builders on its own lock.
 	c.mu.Unlock()
 
+	start := time.Now()
+	endSpan := obs.StartSpan(ctx, "build")
 	vs, outcome, err := shared.Acquire(ctx, m)
+	endSpan()
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +161,20 @@ func (c *VecSetCache) Acquire(ctx context.Context, ds *dataset.Dataset, opts Opt
 	default:
 		c.reuses++
 	}
+	h := c.buildDur
 	c.mu.Unlock()
+	if h != nil && outcome != algohd.VecSetReused {
+		h.ObserveSince(start)
+	}
 	return vs, nil
+}
+
+// instrument wires the build-latency histogram; called by Engine.Instrument
+// before the cache serves traffic.
+func (c *VecSetCache) instrument(h *obs.Histogram) {
+	c.mu.Lock()
+	c.buildDur = h
+	c.mu.Unlock()
 }
 
 // vecsetKey builds the tier's exact lookup key; Acquire and the scheduler's

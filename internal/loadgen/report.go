@@ -47,6 +47,12 @@ type Sample struct {
 	VecSetReuses uint64  `json:"vecset_reuses"`
 	VecSetBuilds uint64  `json:"vecset_builds"`
 	Rejected     uint64  `json:"sched_rejected"`
+	// SolveCount/SolveSumMS are the server-measured solve-latency totals
+	// scraped from the Prometheus surface (rrmd_solve_duration_seconds),
+	// placing server-side latency next to the client-side percentiles.
+	// Zero against a daemon without GET /metrics.
+	SolveCount uint64  `json:"prom_solve_count,omitempty"`
+	SolveSumMS float64 `json:"prom_solve_sum_ms,omitempty"`
 }
 
 // Report is the BENCH_serving.json payload: one load run reduced to the

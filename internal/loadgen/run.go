@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/rankregret/rankregret/internal/obs"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
@@ -293,6 +294,7 @@ func (r *runner) sampleMetrics(ctx context.Context, at time.Duration) {
 	if err != nil || status != http.StatusOK {
 		return // a missed sample is a gap in the timeline, not a run failure
 	}
+	solveCount, solveSumMS := r.scrapeProm(sctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if wm.Scheduler.Policy != "" {
@@ -307,7 +309,40 @@ func (r *runner) sampleMetrics(ctx context.Context, at time.Duration) {
 		VecSetReuses: wm.Engine.VecSets.Reuses,
 		VecSetBuilds: wm.Engine.VecSets.Builds,
 		Rejected:     wm.Scheduler.Rejected,
+		SolveCount:   solveCount,
+		SolveSumMS:   solveSumMS,
 	})
+}
+
+// scrapeProm samples the daemon's Prometheus surface for the server-side
+// solve-latency histogram, so the timeline carries server-measured latency
+// next to the client-measured one. A daemon without GET /metrics (or an
+// unparseable exposition) just leaves the fields zero — the JSON surface
+// already carried the sample.
+func (r *runner) scrapeProm(ctx context.Context) (count uint64, sumMS float64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/metrics", nil)
+	if err != nil {
+		return 0, 0
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		if r.cfg.Logf != nil {
+			r.cfg.Logf("scrape: /metrics failed validation: %v", err)
+		}
+		return 0, 0
+	}
+	c, _ := exp.Value("rrmd_solve_duration_seconds_count")
+	s, _ := exp.Value("rrmd_solve_duration_seconds_sum")
+	return uint64(c), s * 1000
 }
 
 // fire executes one event and records its outcome.

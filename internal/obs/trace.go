@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one recorded stage of a request. Start is relative to the trace
+// start. Self is Dur minus time spent in nested child spans, so summing Self
+// across all spans of a finished trace approximates the end-to-end latency
+// without double counting.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+	SelfMS  float64 `json:"self_ms"`
+}
+
+// Trace is a per-request span timeline. A trace is minted at the HTTP edge,
+// threaded through the stack via context, and recorded into by whichever
+// goroutine currently owns the request — the scheduler hands a request from
+// the accepting handler to a worker, so methods are mutex-guarded.
+//
+// Nested stages use Begin/end pairs; stages measured elsewhere (queue wait,
+// which is observed by the dequeuing worker after the fact) are attached flat
+// with Add.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	stack    []openSpan
+	total    time.Duration
+	finished bool
+}
+
+type openSpan struct {
+	name  string
+	start time.Time
+	child time.Duration // time covered by completed nested spans
+}
+
+// NewTrace starts a trace identified by id.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the request id the trace was minted with.
+func (t *Trace) ID() string { return t.id }
+
+// Begin opens a span named name and returns the closure that ends it. Spans
+// opened while another is open nest: the inner span's duration is subtracted
+// from the outer span's self time.
+func (t *Trace) Begin(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	t.mu.Lock()
+	t.stack = append(t.stack, openSpan{name: name, start: start})
+	t.mu.Unlock()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		// Pop the matching open span; tolerate out-of-order ends by
+		// searching from the top.
+		idx := -1
+		for i := len(t.stack) - 1; i >= 0; i-- {
+			if t.stack[i].name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		os := t.stack[idx]
+		t.stack = append(t.stack[:idx], t.stack[idx+1:]...)
+		dur := end.Sub(os.start)
+		if len(t.stack) > 0 {
+			t.stack[len(t.stack)-1].child += dur
+		}
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			StartMS: ms(os.start.Sub(t.start)),
+			DurMS:   ms(dur),
+			SelfMS:  ms(dur - os.child),
+		})
+	}
+}
+
+// Add attaches a completed span measured externally (e.g. queue wait,
+// recorded by the worker from the enqueue timestamp). If a span is currently
+// open on this trace, the added duration counts as its child time.
+func (t *Trace) Add(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].child += dur
+	}
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartMS: ms(start.Sub(t.start)),
+		DurMS:   ms(dur),
+		SelfMS:  ms(dur),
+	})
+}
+
+// Finish seals the trace and returns the end-to-end duration. Safe to call
+// once from the edge middleware; later Begin/Add calls are still recorded
+// but the total no longer moves.
+func (t *Trace) Finish() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.finished {
+		t.total = time.Since(t.start)
+		t.finished = true
+	}
+	return t.total
+}
+
+// SpanCount reports how many spans have been recorded.
+func (t *Trace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// TraceSnapshot is the JSON shape served at /v1/trace/{id}.
+type TraceSnapshot struct {
+	ID       string    `json:"id"`
+	Started  time.Time `json:"started"`
+	TotalMS  float64   `json:"total_ms"`
+	Finished bool      `json:"finished"`
+	Spans    []Span    `json:"spans"`
+}
+
+// Snapshot returns a copy of the trace state, spans sorted by start time.
+func (t *Trace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := append([]Span(nil), t.spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartMS < spans[j].StartMS })
+	total := t.total
+	if !t.finished {
+		total = time.Since(t.start)
+	}
+	return TraceSnapshot{
+		ID:       t.id,
+		Started:  t.start,
+		TotalMS:  ms(total),
+		Finished: t.finished,
+		Spans:    spans,
+	}
+}
+
+// Breakdown renders the span timeline as one log-friendly line:
+// "queue=1.2ms cache=0.1ms solve=182.4ms" in start order, using self times.
+func (t *Trace) Breakdown() string {
+	snap := t.Snapshot()
+	parts := make([]string, 0, len(snap.Spans))
+	for _, s := range snap.Spans {
+		parts = append(parts, fmt.Sprintf("%s=%.2fms", s.Name, s.SelfMS))
+	}
+	return strings.Join(parts, " ")
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+type ctxKey struct{}
+
+// WithTrace returns a context carrying tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil. All Trace methods are
+// nil-safe, so callers can record unconditionally.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// StartSpan opens a span on the context's trace (no-op without one) and
+// returns the closure that ends it.
+func StartSpan(ctx context.Context, name string) func() {
+	return TraceFrom(ctx).Begin(name)
+}
+
+// NewRequestID mints a 16-hex-char random request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived id; uniqueness is best-effort here.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0x7fffffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceRing is a bounded ring of recent traces with by-id lookup. Putting a
+// trace past capacity evicts the oldest; re-using a request id shadows the
+// older trace in lookups until it is evicted.
+type TraceRing struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewTraceRing returns a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{cap: capacity, buf: make([]*Trace, capacity), byID: make(map[string]*Trace)}
+}
+
+// Put records a finished trace, evicting the oldest when full.
+func (r *TraceRing) Put(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil && r.byID[old.id] == old {
+		delete(r.byID, old.id)
+	}
+	r.buf[r.next] = tr
+	r.byID[tr.id] = tr
+	r.next = (r.next + 1) % r.cap
+}
+
+// Get returns the most recent trace recorded under id.
+func (r *TraceRing) Get(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr, ok := r.byID[id]
+	return tr, ok
+}
+
+// Recent returns up to n traces, newest first.
+func (r *TraceRing) Recent(n int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.cap {
+		n = r.cap
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < r.cap && len(out) < n; i++ {
+		idx := (r.next - 1 - i + 2*r.cap) % r.cap
+		if tr := r.buf[idx]; tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, tr := range r.buf {
+		if tr != nil {
+			n++
+		}
+	}
+	return n
+}

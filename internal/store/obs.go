@@ -1,0 +1,32 @@
+package store
+
+import (
+	"github.com/rankregret/rankregret/internal/obs"
+)
+
+// storeObs holds the store's durability-latency instruments. The struct is
+// swapped in atomically by Instrument (the store's sync and heal loops are
+// already running by the time a server wires metrics, so a plain field would
+// race), and every record site loads it once per operation.
+type storeObs struct {
+	walAppend   *obs.Histogram // single-record WAL append (buffered write)
+	walFsync    *obs.Histogram // fsync, both SyncAlways and interval flushes
+	snapCut     *obs.Histogram // snapshot cut: segment rotation + registry view
+	snapPersist *obs.Histogram // snapshot encode + write (background)
+}
+
+// Instrument registers the store's WAL and snapshot latency histograms with
+// reg and starts recording into them. Safe to call while the store is
+// serving; recording starts with the next operation.
+func (st *Store) Instrument(reg *obs.Registry) {
+	st.obsv.Store(&storeObs{
+		walAppend: reg.Histogram("rrmd_wal_append_seconds",
+			"WAL record append latency (buffered write, excluding fsync).", nil),
+		walFsync: reg.Histogram("rrmd_wal_fsync_seconds",
+			"WAL fsync latency (per-record under sync=always, periodic under sync=interval).", nil),
+		snapCut: reg.Histogram("rrmd_snapshot_cut_seconds",
+			"Snapshot cut latency: the segment rotation and registry capture a mutation pays inline.", nil),
+		snapPersist: reg.Histogram("rrmd_snapshot_persist_seconds",
+			"Snapshot encode+write latency (background persist).", nil),
+	})
+}

@@ -15,16 +15,19 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/faultfs"
+	"github.com/rankregret/rankregret/internal/obs"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
@@ -284,6 +287,11 @@ type Summary struct {
 	SnapshotLag   int    `json:"snapshot_lag"`
 	WALBytes      int64  `json:"wal_bytes"`
 	SnapshotError string `json:"snapshot_error,omitempty"`
+	// Syncs and Snapshots count completed fsyncs and persisted snapshots
+	// since open (carried across heals), so scrapers get lifetime counters
+	// without the directory scan Status performs.
+	Syncs     uint64 `json:"syncs"`
+	Snapshots uint64 `json:"snapshots"`
 	// State/Reason mirror Health for metrics scrapers; HealAttempts and
 	// HealSuccesses count self-healing activity since open.
 	State         HealthState `json:"state"`
@@ -335,6 +343,10 @@ type Store struct {
 	healKick chan struct{}
 	stopHeal chan struct{}
 	healDone chan struct{}
+
+	// obsv is the latency instrumentation (see Instrument), swapped in
+	// atomically because the sync/heal loops run before metrics are wired.
+	obsv atomic.Pointer[storeObs]
 }
 
 // Open recovers (or initializes) a store over opts.Dir: load the newest
@@ -586,10 +598,11 @@ func (st *Store) encodeEvent(ev Event) ([]byte, error) {
 // write-held, before the event is published. Any failure wedges the writer
 // (see walWriter.wedge) and degrades the store; the self-healing loop takes
 // it from there.
-func (st *Store) logPayload(payload []byte) error {
+func (st *Store) logPayload(ctx context.Context, payload []byte) error {
 	if st.wal == nil {
 		return nil
 	}
+	so := st.obsv.Load()
 	if st.wal.size > int64(len(segMagic)) &&
 		st.wal.size+recordHeader+int64(len(payload)) > st.opts.SegmentBytes {
 		if err := st.wal.rotate(st.wal.seq + 1); err != nil {
@@ -598,13 +611,27 @@ func (st *Store) logPayload(payload []byte) error {
 		}
 		st.walBytes += int64(len(segMagic))
 	}
-	if err := st.wal.append(payload); err != nil {
+	appendStart := time.Now()
+	endAppend := obs.StartSpan(ctx, "wal_append")
+	err := st.wal.append(payload)
+	endAppend()
+	if so != nil {
+		so.walAppend.ObserveSince(appendStart)
+	}
+	if err != nil {
 		st.enterDegradedLocked(ReasonWALFailed, err)
 		return err
 	}
 	st.walBytes += recordHeader + int64(len(payload))
 	if st.opts.Sync == SyncAlways {
-		if err := st.wal.sync(); err != nil {
+		syncStart := time.Now()
+		endSync := obs.StartSpan(ctx, "wal_fsync")
+		err := st.wal.sync()
+		endSync()
+		if so != nil {
+			so.walFsync.ObserveSince(syncStart)
+		}
+		if err != nil {
 			st.enterDegradedLocked(ReasonWALFailed, err)
 			return err
 		}
@@ -647,12 +674,18 @@ func (st *Store) degradedErrLocked() error {
 // background goroutine against the immutable captured view. Failures are
 // logged and surfaced in Status/Summary, and the next threshold retries.
 // Called with st.mu write-held.
-func (st *Store) maybeSnapshotLocked() {
+func (st *Store) maybeSnapshotLocked(ctx context.Context) {
 	if st.wal == nil || st.opts.SnapshotEvery <= 0 || st.sinceSnap < st.opts.SnapshotEvery ||
 		st.snapInFlight || st.health != HealthHealthy {
 		return
 	}
+	cutStart := time.Now()
+	endCut := obs.StartSpan(ctx, "snapshot_cut")
 	seq, view, err := st.cutLocked()
+	endCut()
+	if so := st.obsv.Load(); so != nil {
+		so.snapCut.ObserveSince(cutStart)
+	}
 	if err != nil {
 		// The cut is a WAL rotation; its failure means the WAL writer is
 		// wedged, not just the snapshot.
@@ -688,7 +721,12 @@ func (st *Store) cutLocked() (uint64, map[string][]*dataset.Dataset, error) {
 // persistCut encodes and writes a cut as snap-<seq>. It takes no locks —
 // the view is immutable — so mutations and reads proceed while it runs.
 func (st *Store) persistCut(seq uint64, view map[string][]*dataset.Dataset) error {
-	return writeSnapshot(st.opts.FS, st.opts.Dir, seq, encodeRegistry(view))
+	start := time.Now()
+	err := writeSnapshot(st.opts.FS, st.opts.Dir, seq, encodeRegistry(view))
+	if so := st.obsv.Load(); so != nil {
+		so.snapPersist.ObserveSince(start)
+	}
+	return err
 }
 
 // finishCutLocked records a persist attempt's outcome: on success the
@@ -767,7 +805,11 @@ func (st *Store) syncLoop() {
 			st.mu.RLock()
 			w := st.wal
 			st.mu.RUnlock()
+			syncStart := time.Now()
 			err := w.sync()
+			if so := st.obsv.Load(); so != nil {
+				so.walFsync.ObserveSince(syncStart)
+			}
 			msg := ""
 			if err != nil {
 				msg = err.Error()
@@ -938,6 +980,15 @@ func (st *Store) Recovery() RecoveryInfo { return st.recovery }
 // under that name. The caller must not mutate ds afterwards except through
 // the store.
 func (st *Store) Register(name string, ds *dataset.Dataset, retain int) error {
+	return st.RegisterCtx(context.Background(), name, ds, retain)
+}
+
+// RegisterCtx is Register with a request context: when ctx carries a trace,
+// the store stage (and its WAL append/fsync and snapshot cut inside) are
+// recorded as spans. The context does not cancel the mutation — durability
+// operations run to completion once started.
+func (st *Store) RegisterCtx(ctx context.Context, name string, ds *dataset.Dataset, retain int) error {
+	defer obs.StartSpan(ctx, "store")()
 	if name == "" {
 		return errors.New("store: dataset name must be non-empty")
 	}
@@ -958,16 +1009,22 @@ func (st *Store) Register(name string, ds *dataset.Dataset, retain int) error {
 	if st.health == HealthDegraded {
 		return st.degradedErrLocked()
 	}
-	if err := st.logPayload(payload); err != nil {
+	if err := st.logPayload(ctx, payload); err != nil {
 		return err
 	}
 	st.reg[name] = &Versions{list: []*dataset.Dataset{ds}}
-	st.maybeSnapshotLocked()
+	st.maybeSnapshotLocked(ctx)
 	return nil
 }
 
 // Drop durably removes name and its whole version history.
 func (st *Store) Drop(name string) error {
+	return st.DropCtx(context.Background(), name)
+}
+
+// DropCtx is Drop with a request context for trace spans (see RegisterCtx).
+func (st *Store) DropCtx(ctx context.Context, name string) error {
+	defer obs.StartSpan(ctx, "store")()
 	payload, err := st.encodeEvent(Event{Kind: EventDrop, Name: name})
 	if err != nil {
 		return err
@@ -983,11 +1040,11 @@ func (st *Store) Drop(name string) error {
 	if _, ok := st.reg[name]; !ok {
 		return fmt.Errorf("%w %q", ErrUnknownDataset, name)
 	}
-	if err := st.logPayload(payload); err != nil {
+	if err := st.logPayload(ctx, payload); err != nil {
 		return err
 	}
 	delete(st.reg, name)
-	st.maybeSnapshotLocked()
+	st.maybeSnapshotLocked(ctx)
 	return nil
 }
 
@@ -997,7 +1054,8 @@ func (st *Store) Drop(name string) error {
 // mutations of other datasets), then append + publish under it. The
 // per-dataset mutateMu serializes same-dataset mutations end to end so two
 // builders never race on one base version.
-func (st *Store) mutate(name string, build func(cur *dataset.Dataset) (*dataset.Dataset, error), ev Event, retain int) (*dataset.Dataset, error) {
+func (st *Store) mutate(ctx context.Context, name string, build func(cur *dataset.Dataset) (*dataset.Dataset, error), ev Event, retain int) (*dataset.Dataset, error) {
+	defer obs.StartSpan(ctx, "store")()
 	vv, ok := st.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
@@ -1025,11 +1083,11 @@ func (st *Store) mutate(name string, build func(cur *dataset.Dataset) (*dataset.
 	if cur, live := st.reg[name]; !live || cur != vv {
 		return nil, fmt.Errorf("%w %q (dropped or replaced concurrently)", ErrUnknownDataset, name)
 	}
-	if err := st.logPayload(payload); err != nil {
+	if err := st.logPayload(ctx, payload); err != nil {
 		return nil, err
 	}
 	vv.publish(next, retain)
-	st.maybeSnapshotLocked()
+	st.maybeSnapshotLocked(ctx)
 	return next, nil
 }
 
@@ -1037,7 +1095,13 @@ func (st *Store) mutate(name string, build func(cur *dataset.Dataset) (*dataset.
 // the successor, returning it. The WAL record is written (and, under
 // SyncAlways, synced) before the new version becomes visible.
 func (st *Store) AppendRows(name string, rows [][]float64, retain int) (*dataset.Dataset, error) {
-	return st.mutate(name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
+	return st.AppendRowsCtx(context.Background(), name, rows, retain)
+}
+
+// AppendRowsCtx is AppendRows with a request context for trace spans (see
+// RegisterCtx).
+func (st *Store) AppendRowsCtx(ctx context.Context, name string, rows [][]float64, retain int) (*dataset.Dataset, error) {
+	return st.mutate(ctx, name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
 		// Validation happens in the builder, so the WAL never holds an
 		// event the registry rejected.
 		return appendNext(cur, rows)
@@ -1047,7 +1111,13 @@ func (st *Store) AppendRows(name string, rows [][]float64, retain int) (*dataset
 // DeleteRows durably removes rows by id from name's current version and
 // publishes the successor, returning it.
 func (st *Store) DeleteRows(name string, ids []int, retain int) (*dataset.Dataset, error) {
-	return st.mutate(name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
+	return st.DeleteRowsCtx(context.Background(), name, ids, retain)
+}
+
+// DeleteRowsCtx is DeleteRows with a request context for trace spans (see
+// RegisterCtx).
+func (st *Store) DeleteRowsCtx(ctx context.Context, name string, ids []int, retain int) (*dataset.Dataset, error) {
+	return st.mutate(ctx, name, func(cur *dataset.Dataset) (*dataset.Dataset, error) {
 		return deleteNext(cur, ids)
 	}, Event{Kind: EventDelete, Name: name, IDs: ids}, retain)
 }
@@ -1162,6 +1232,7 @@ func (st *Store) Summary() Summary {
 		Enabled:       st.wal != nil,
 		SnapshotLag:   st.sinceSnap,
 		WALBytes:      st.walBytes,
+		Snapshots:     st.snapshots,
 		State:         st.health,
 		Reason:        st.degradedReason,
 		HealAttempts:  st.healAttempts,
@@ -1169,6 +1240,7 @@ func (st *Store) Summary() Summary {
 	}
 	if st.wal != nil {
 		s.Records = st.wal.records
+		s.Syncs = st.wal.syncs.Load()
 	}
 	if st.snapErr != nil {
 		s.SnapshotError = st.snapErr.Error()

@@ -17,6 +17,7 @@ trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/rrmd" ./cmd/rrmd
 go build -o "$WORK/rrmload" ./cmd/rrmload
+go build -o "$WORK/promcheck" ./cmd/promcheck
 
 # Two small deterministic CSV datasets (2 and 5 attributes) so individual
 # solves stay cheap: the smoke measures the serving path under load, not
@@ -52,6 +53,20 @@ echo "== steady scenario =="
   -rate 15 -duration "${STEADY_SECS}s" -timeout 15s -max-samples 400 \
   -save-trace "$WORK/trace_steady.json" -out BENCH_serving_steady.json
 
+# Scrape the Prometheus surface mid-run (the daemon has just served a full
+# steady scenario, so the histograms are populated) and validate it with the
+# strict exposition parser. The scrape is kept as a CI artifact either way.
+echo "== /metrics scrape =="
+curl -sf "$BASE/metrics" -o BENCH_metrics_scrape.txt
+"$WORK/promcheck" -require \
+  rrmd_solve_duration_seconds,rrmd_solve_stage_duration_seconds,rrmd_queue_wait_seconds,rrmd_run_duration_seconds,rrmd_cache_hits_total,rrmd_vecset_builds_total,rrmd_wal_fsync_seconds,rrmd_snapshot_cut_seconds \
+  BENCH_metrics_scrape.txt
+SOLVES=$(grep -c '^rrmd_solve_duration_seconds_bucket' BENCH_metrics_scrape.txt || true)
+if [ "$SOLVES" -eq 0 ]; then
+  echo "scrape has no solve-latency buckets" >&2
+  exit 1
+fi
+
 echo "== burst scenario =="
 "$WORK/rrmload" -url "$BASE" -scenario burst -seed 7 \
   -rate 8 -burst-rate 120 -burst-period 3s -burst-len 1s \
@@ -82,9 +97,17 @@ for f in BENCH_serving_steady.json BENCH_serving_burst.json; do
   fi
 done
 
-# The daemon must still be healthy after the storm.
+# The daemon must still be healthy after the storm, and the JSON and
+# Prometheus surfaces must agree on the one registry behind them: quiesced,
+# the scheduler's done counter reads the same on both.
 curl -sf "$BASE/healthz" >/dev/null
 curl -sf "$BASE/v1/metrics" | jq -S '{scheduler, engine}'
+JSON_DONE=$(curl -sf "$BASE/v1/metrics" | jq -r '.scheduler.done')
+PROM_DONE=$(curl -sf "$BASE/metrics" | awk '$1 == "rrmd_jobs_done_total" {print $2}')
+if [ "$JSON_DONE" != "$PROM_DONE" ]; then
+  echo "metrics surfaces disagree: /v1/metrics done=$JSON_DONE, /metrics done=$PROM_DONE" >&2
+  exit 1
+fi
 
 kill "$PID" 2>/dev/null
 wait "$PID" 2>/dev/null || true
