@@ -6,7 +6,9 @@
 // Usage:
 //
 //	promcheck [file]         validate a saved scrape (default: stdin)
-//	promcheck -require NAMES also require the comma-separated metric families
+//	promcheck -require NAMES also require the comma-separated metric families;
+//	                         each entry matches exactly or as a name prefix, so
+//	                         "rrmd_slo" requires the whole rrmd_slo_* group
 //
 // Exit status 0 on a valid exposition, 1 otherwise — CI's smoke scripts pipe
 // a live scrape through it so a malformed /metrics fails the build, not the
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	require := flag.String("require", "", "comma-separated metric family names (exact or prefix) that must be present")
 	quiet := flag.Bool("q", false, "suppress the per-family summary on success")
 	flag.Parse()
 
@@ -53,7 +55,18 @@ func main() {
 		if name == "" {
 			continue
 		}
-		if _, ok := exp.Families[name]; !ok {
+		if _, ok := exp.Families[name]; ok {
+			continue
+		}
+		// A prefix entry requires at least one family in the group.
+		found := false
+		for fam := range exp.Families {
+			if strings.HasPrefix(fam, name) {
+				found = true
+				break
+			}
+		}
+		if !found {
 			missing = append(missing, name)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/faultfs"
 	"github.com/rankregret/rankregret/internal/loadgen"
+	"github.com/rankregret/rankregret/internal/obs/obstest"
 	"github.com/rankregret/rankregret/internal/store"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
@@ -31,7 +32,7 @@ func newChaosServer(t *testing.T, dir string, fs faultfs.FS) (*Server, *httptest
 		FS:             fs,
 		HealBackoff:    5 * time.Millisecond,
 		HealMaxBackoff: 50 * time.Millisecond,
-		Logf:           t.Logf,
+		Logger:         obstest.Logger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -26,7 +26,10 @@
 // POST /v1/datasets/{name}/rows, DELETE /v1/datasets/{name}/rows,
 // GET /v1/datasets/{name}/versions, POST /v1/solve, POST /v1/solve/batch,
 // POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
-// GET /v1/metrics, GET /v1/store/status, POST /v1/evaluate.
+// GET /v1/metrics, GET /metrics, GET /v1/trace/{id}, GET /v1/traces,
+// GET /v1/slo, GET /v1/incidents, GET /v1/incidents/{id},
+// GET /v1/store/status, POST /v1/evaluate. With -pprof-addr set,
+// net/http/pprof is served on that separate listener.
 package main
 
 import (
@@ -35,8 +38,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,6 +51,7 @@ import (
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/faultfs"
+	"github.com/rankregret/rankregret/internal/obs"
 	"github.com/rankregret/rankregret/internal/store"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
@@ -93,9 +98,19 @@ func run(args []string) error {
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for probabilistic -fault-inject rules")
 		healBackoff = fs.Duration("heal-backoff", 0, "initial self-heal retry delay after a store fault (0 = 100ms default); doubles with jitter up to -heal-backoff-max")
 		healMax     = fs.Duration("heal-backoff-max", 0, "self-heal retry delay ceiling (0 = 5s default)")
+
+		logFormat   = fs.String("log-format", "text", "log output format: text (human-readable) or json (one object per line, machine-parseable)")
+		traceRing   = fs.Int("trace-ring", DefaultTraceRing, "recent traced requests retained for GET /v1/trace/{id} and GET /v1/traces")
+		incidentDir = fs.String("incident-dir", "", "directory incident bundles are dumped to as JSON (empty = in-memory ring only, served at GET /v1/incidents)")
+		pprofAddr   = fs.String("pprof-addr", "", "listen address for the net/http/pprof debug server (empty = disabled); keep it off the service port and firewalled")
 	)
 	fs.Func("load", "name=path of a CSV dataset to load at startup (repeatable)", func(v string) error {
 		loads = append(loads, v)
+		return nil
+	})
+	var sloSpecs []string
+	fs.Func("slo", "latency objective as source:pQQ<DUR@TT, e.g. 'solve:p99<250ms@99.9' (repeatable; sources: solve, mutate, scrape; default = stock objectives for all three)", func(v string) error {
+		sloSpecs = append(sloSpecs, v)
 		return nil
 	})
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +124,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	// The shared structured logger: every subsystem (store, scheduler,
+	// serving edge) logs through it, and the ring it tees into supplies the
+	// log tail of incident bundles.
+	logRing := obs.NewLogRing(512)
+	logger := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo, logRing)
+	slog.SetDefault(logger)
 	sync, syncIv, err := store.ParseSyncPolicy(*fsyncPol)
 	if err != nil {
 		return err
@@ -126,7 +150,8 @@ func run(args []string) error {
 		inj := faultfs.New(faultfs.Disk, *faultSeed)
 		inj.Arm(rules...)
 		storeFS = inj
-		log.Printf("store: FAULT INJECTION ARMED (%d rule(s), seed %d) — chaos testing only", len(rules), *faultSeed)
+		logger.Warn("store: FAULT INJECTION ARMED — chaos testing only",
+			"rules", len(rules), "seed", *faultSeed)
 	}
 
 	st, err := store.Open(store.Options{
@@ -139,15 +164,16 @@ func run(args []string) error {
 		FS:             storeFS,
 		HealBackoff:    *healBackoff,
 		HealMaxBackoff: *healMax,
-		Logf:           log.Printf,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
 	if *dataDir != "" {
 		rec := st.Recovery()
-		log.Printf("store: recovered %d datasets from %s (snapshot %d + %d WAL records; torn tail: %v)",
-			rec.Datasets, *dataDir, rec.SnapshotSeq, rec.RecordsReplayed, rec.TornTail)
+		logger.Info("store: recovered",
+			"datasets", rec.Datasets, "dir", *dataDir, "snapshot", rec.SnapshotSeq,
+			"wal_records", rec.RecordsReplayed, "torn_tail", rec.TornTail)
 	}
 
 	if *compact {
@@ -163,7 +189,7 @@ func run(args []string) error {
 	pol, ok := engine.PolicyByName(*policy)
 	if !ok {
 		if cerr := st.Close(); cerr != nil {
-			log.Printf("rrmd: closing store: %v", cerr)
+			logger.Error("rrmd: closing store failed", "err", cerr)
 		}
 		return fmt.Errorf("unknown -policy %q (want fifo or affinity)", *policy)
 	}
@@ -176,6 +202,15 @@ func run(args []string) error {
 	srv.QueueWait = *queueWait
 	srv.TraceSlow = *traceSlow
 	srv.SetPolicy(pol)
+	if err := srv.SetupObs(ObsOptions{
+		Logger:      logger,
+		LogRing:     logRing,
+		TraceRing:   *traceRing,
+		IncidentDir: *incidentDir,
+		SLOSpecs:    sloSpecs,
+	}); err != nil {
+		return err
+	}
 	// Startup loads must not clobber what recovery just rebuilt: a daemon
 	// restarted with its usual -load/-demo flags keeps the recovered
 	// version history (with every durably-acked mutation) rather than
@@ -187,7 +222,8 @@ func run(args []string) error {
 	}
 	skipRecovered := func(name string) bool {
 		if recovered[name] {
-			log.Printf("dataset %q recovered from %s; skipping startup load (drop it to replace)", name, *dataDir)
+			logger.Info("rrmd: dataset recovered; skipping startup load (drop it to replace)",
+				"dataset", name, "dir", *dataDir)
 			return true
 		}
 		return false
@@ -207,7 +243,7 @@ func run(args []string) error {
 		if err := srv.AddDataset(name, ds); err != nil {
 			return err
 		}
-		log.Printf("loaded dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
+		logger.Info("rrmd: loaded dataset", "dataset", name, "n", ds.N(), "d", ds.Dim())
 	}
 	if *demo {
 		for name, gen := range map[string]func(*xrand.Rand, int) *dataset.Dataset{
@@ -222,18 +258,39 @@ func run(args []string) error {
 			if err := srv.AddDataset(name, ds); err != nil {
 				return err
 			}
-			log.Printf("loaded demo dataset %q: n=%d d=%d", name, ds.N(), ds.Dim())
+			logger.Info("rrmd: loaded demo dataset", "dataset", name, "n", ds.N(), "d", ds.Dim())
 		}
 	}
 	if recovered := st.RecoveredNames(); *warmStart && len(recovered) > 0 {
-		log.Printf("warm-start: priming caches for %d recovered datasets in the background", len(recovered))
+		logger.Info("rrmd: warm-start priming caches in the background", "datasets", len(recovered))
 		go srv.WarmStart(recovered)
+	}
+
+	if *pprofAddr != "" {
+		// The pprof surface gets its own mux on its own listener: profiling
+		// must never ride the service port (it is unauthenticated and can
+		// stall), and registering on a private mux keeps the service handler
+		// free of DefaultServeMux side effects.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		defer ps.Close()
+		go func() {
+			logger.Info("rrmd: pprof debug server listening", "addr", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("rrmd: pprof server failed", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("rrmd listening on %s (timeout=%s)", *addr, *timeout)
+	logger.Info("rrmd: listening", "addr", *addr, "timeout", *timeout, "log_format", *logFormat)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -250,17 +307,17 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process the default way
-	log.Printf("rrmd: draining (budget %s): waiting for in-flight work, then flushing the store", *drainTO)
+	logger.Info("rrmd: draining: waiting for in-flight work, then flushing the store", "budget", *drainTO)
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	// Stop accepting requests and wait for in-flight handlers first, so the
 	// scheduler drain below sees every job that will ever be submitted.
 	if err := hs.Shutdown(sctx); err != nil {
-		log.Printf("rrmd: http shutdown: %v", err)
+		logger.Warn("rrmd: http shutdown failed", "err", err)
 	}
 	if err := srv.Shutdown(sctx); err != nil {
-		log.Printf("rrmd: drain: %v", err)
+		logger.Warn("rrmd: drain failed", "err", err)
 	}
-	log.Printf("rrmd: shutdown complete")
+	logger.Info("rrmd: shutdown complete")
 	return nil
 }

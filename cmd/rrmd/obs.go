@@ -2,17 +2,19 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/obs"
+	"github.com/rankregret/rankregret/internal/obs/slo"
 	"github.com/rankregret/rankregret/internal/store"
 )
 
 // DefaultTraceRing is how many recent traced requests the daemon retains for
-// GET /v1/trace/{id} and GET /v1/traces.
+// GET /v1/trace/{id} and GET /v1/traces (the -trace-ring flag overrides).
 const DefaultTraceRing = 256
 
 // instrument wires the server's one metrics registry: latency histograms
@@ -28,6 +30,11 @@ func (s *Server) instrument() {
 	s.store.Instrument(reg)
 	s.solveDur = reg.Histogram("rrmd_solve_duration_seconds",
 		"End-to-end successful /v1/solve latency, cache hits included.", nil)
+	s.mutateDur = reg.Histogram("rrmd_mutate_duration_seconds",
+		"End-to-end successful mutation latency (upload, append, delete, drop), WAL fsync included.", nil)
+	s.scrapeDur = reg.Histogram("rrmd_scrape_duration_seconds",
+		"GET /metrics render latency.", nil)
+	obs.RegisterRuntime(reg)
 
 	// Engine cache tiers (engine.Metrics in the JSON surface).
 	reg.CounterFunc("rrmd_cache_hits_total", "Solution-cache hits.",
@@ -97,11 +104,109 @@ func b2f(b bool) float64 {
 	return 0
 }
 
+// ObsOptions configures the daemon-level observability wired by SetupObs:
+// the shared structured logger, the trace and incident rings, and the SLO
+// burn-rate engine.
+type ObsOptions struct {
+	// Logger is the daemon's structured logger (nil = keep the current one).
+	Logger *slog.Logger
+	// LogRing is the ring Logger tees into (see obs.NewLogger); incident
+	// bundles carry its tail. Optional.
+	LogRing *obs.LogRing
+	// TraceRing resizes the retained-trace ring (0 = keep DefaultTraceRing).
+	TraceRing int
+	// IncidentDir, when set, receives every incident bundle as JSON.
+	IncidentDir string
+	// IncidentCapacity bounds the incident ring (0 = recorder default).
+	IncidentCapacity int
+	// IncidentMinGap rate-limits captures per trigger (0 = recorder default).
+	IncidentMinGap time.Duration
+	// SLOSpecs declares the objectives ("solve:p99<250ms@99.9"); nil = the
+	// stock defaults for solve, mutate, and scrape.
+	SLOSpecs []string
+	// SLO tunes the engine (windows, thresholds, clock) — Registry and
+	// OnFastBurn are owned by the server and overwritten.
+	SLO slo.Config
+}
+
+// SetupObs wires the flag-driven observability surface: structured logging
+// with request correlation, the anomaly flight recorder (slow requests, SLO
+// fast burns, store health transitions), and the SLO engine over the latency
+// histograms instrument() registered. Call once, before the server serves
+// traffic — the fields it sets are read without locks on request paths.
+func (s *Server) SetupObs(o ObsOptions) error {
+	if o.Logger != nil {
+		s.logger = o.Logger
+		s.sched.SetLogger(o.Logger)
+	}
+	s.logRing = o.LogRing
+	if o.TraceRing > 0 {
+		s.traces = obs.NewTraceRing(o.TraceRing)
+	}
+	if o.IncidentDir != "" {
+		if err := os.MkdirAll(o.IncidentDir, 0o755); err != nil {
+			return fmt.Errorf("rrmd: creating -incident-dir: %w", err)
+		}
+	}
+	s.recorder = obs.NewRecorder(obs.RecorderConfig{
+		Capacity: o.IncidentCapacity,
+		Dir:      o.IncidentDir,
+		MinGap:   o.IncidentMinGap,
+		Registry: s.obs,
+		LogRing:  o.LogRing,
+		Logger:   s.logger,
+	})
+	s.store.OnHealthChange(func(h store.HealthState) {
+		s.recorder.Capture("store_health", "store transitioned to "+string(h), nil)
+	})
+
+	cfg := o.SLO
+	cfg.Registry = s.obs
+	cfg.OnFastBurn = func(st slo.Status) {
+		s.logger.Error("rrmd: SLO fast-burn alarm",
+			"objective", st.Name, "burn_rate_fast", st.BurnRateFast,
+			"burn_rate_slow", st.BurnRateSlow, "compliance", st.Compliance)
+		// Attach the most recent retained trace: under a burn it is almost
+		// certainly one of the offending requests.
+		var tr *obs.Trace
+		if recent := s.traces.Recent(1); len(recent) > 0 {
+			tr = recent[0]
+		}
+		s.recorder.Capture("slo_fast_burn",
+			fmt.Sprintf("objective %s burning at %.1fx budget", st.Name, st.BurnRateFast), tr)
+	}
+	eng := slo.New(cfg)
+	eng.Register("solve", s.solveDur.Snapshot)
+	eng.Register("mutate", s.mutateDur.Snapshot)
+	eng.Register("scrape", s.scrapeDur.Snapshot)
+	specs := o.SLOSpecs
+	if len(specs) == 0 {
+		for _, obj := range slo.DefaultObjectives() {
+			if err := eng.Add(obj); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, spec := range specs {
+			obj, err := slo.ParseObjective(spec)
+			if err != nil {
+				return err
+			}
+			if err := eng.Add(obj); err != nil {
+				return err
+			}
+		}
+	}
+	s.sloEng = eng
+	return nil
+}
+
 // withObs is the edge middleware: it mints the request id (honoring an
 // inbound X-Request-Id), opens the request trace, threads it down the stack
 // via the request context, and on the way out retains the trace (when any
-// stage recorded a span) and logs the per-stage breakdown for requests
-// slower than TraceSlow.
+// stage recorded a span), logs the per-stage breakdown for requests slower
+// than TraceSlow — every such anomaly record carries the request id and
+// dataset — and hands slow requests to the flight recorder.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -118,8 +223,16 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		}
 		s.traces.Put(tr)
 		if s.TraceSlow > 0 && total >= s.TraceSlow {
-			log.Printf("rrmd: slow request %s %s id=%s total=%.2fms %s",
-				r.Method, r.URL.Path, id, float64(total)/float64(time.Millisecond), tr.Breakdown())
+			s.logger.Warn("rrmd: slow request",
+				"method", r.Method, "path", r.URL.Path, "request_id", id,
+				"dataset", tr.Annotation("dataset"),
+				"total_ms", float64(total)/float64(time.Millisecond),
+				"breakdown", tr.Breakdown())
+			if s.recorder != nil {
+				s.recorder.Capture("slow_request",
+					fmt.Sprintf("%s %s took %.2fms (threshold %s)",
+						r.Method, r.URL.Path, float64(total)/float64(time.Millisecond), s.TraceSlow), tr)
+			}
 		}
 	})
 }
@@ -127,11 +240,84 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 // handlePrometheus serves the registry in Prometheus text exposition format:
 //
 //	GET /metrics
+//
+// The SLO engine is evaluated first, so the rrmd_slo_* gauges in every
+// scrape reflect the histograms as of this scrape — and agree with a
+// /v1/slo read once traffic quiesces.
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.sloEng != nil {
+		s.sloEng.Eval()
+	}
 	w.Header().Set("Content-Type", obs.ExpositionContentType)
 	if err := s.obs.WritePrometheus(w); err != nil {
-		log.Printf("rrmd: writing /metrics: %v", err)
+		s.logger.Warn("rrmd: writing /metrics failed", "err", err)
+		return
 	}
+	s.scrapeDur.ObserveSince(start)
+}
+
+// handleSLO reports every declared objective's evaluated state:
+//
+//	GET /v1/slo
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.sloEng == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("SLO engine not configured (start rrmd with -slo or defaults via SetupObs)"))
+		return
+	}
+	writeOK(w, http.StatusOK, map[string]any{"objectives": s.sloEng.Eval()})
+}
+
+// incidentSummary is the list-view shape of one incident: the heavy payloads
+// (trace, goroutine profile, metrics, logs) are served by the per-id get.
+type incidentSummary struct {
+	ID        string    `json:"id"`
+	Time      time.Time `json:"time"`
+	Trigger   string    `json:"trigger"`
+	Detail    string    `json:"detail"`
+	RequestID string    `json:"request_id,omitempty"`
+}
+
+// handleIncidents lists retained incidents, newest first:
+//
+//	GET /v1/incidents?n=20
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("flight recorder not configured (SetupObs was not called)"))
+		return
+	}
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = p
+	}
+	recent := s.recorder.Recent(n)
+	out := make([]incidentSummary, len(recent))
+	for i, inc := range recent {
+		out[i] = incidentSummary{ID: inc.ID, Time: inc.Time, Trigger: inc.Trigger, Detail: inc.Detail, RequestID: inc.RequestID}
+	}
+	writeOK(w, http.StatusOK, map[string]any{"incidents": out})
+}
+
+// handleIncident serves one full incident bundle:
+//
+//	GET /v1/incidents/{id}
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("flight recorder not configured (SetupObs was not called)"))
+		return
+	}
+	id := r.PathValue("id")
+	inc, ok := s.recorder.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no incident %q (the ring keeps the last %d incidents)", id, s.recorder.Len()))
+		return
+	}
+	writeOK(w, http.StatusOK, inc)
 }
 
 // handleTrace serves one retained request trace:
@@ -142,7 +328,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	tr, ok := s.traces.Get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound,
-			fmt.Errorf("no trace for request id %q (the ring keeps the last %d traced requests)", id, DefaultTraceRing))
+			fmt.Errorf("no trace for request id %q (the ring keeps the last %d traced requests)", id, s.traces.Cap()))
 		return
 	}
 	writeOK(w, http.StatusOK, tr.Snapshot())

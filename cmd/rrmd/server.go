@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -17,6 +17,7 @@ import (
 	"github.com/rankregret/rankregret/internal/eval"
 	"github.com/rankregret/rankregret/internal/funcspace"
 	"github.com/rankregret/rankregret/internal/obs"
+	"github.com/rankregret/rankregret/internal/obs/slo"
 	"github.com/rankregret/rankregret/internal/store"
 )
 
@@ -73,10 +74,22 @@ type Server struct {
 	// obs is the server's one metrics registry: GET /metrics renders it as
 	// Prometheus text, GET /v1/metrics serializes the same underlying
 	// snapshots as JSON. traces retains recent request traces for
-	// GET /v1/trace/{id}; solveDur is the end-to-end solve histogram.
-	obs      *obs.Registry
-	traces   *obs.TraceRing
-	solveDur *obs.Histogram
+	// GET /v1/trace/{id}; solveDur/mutateDur/scrapeDur are the end-to-end
+	// latency histograms the SLO engine evaluates.
+	obs       *obs.Registry
+	traces    *obs.TraceRing
+	solveDur  *obs.Histogram
+	mutateDur *obs.Histogram
+	scrapeDur *obs.Histogram
+
+	// logger is the daemon's structured logger; every request-path record
+	// carries the request id. logRing, recorder, and sloEng are the flight
+	// recorder surface, wired by SetupObs before the server serves traffic
+	// (nil = disabled).
+	logger   *slog.Logger
+	logRing  *obs.LogRing
+	recorder *obs.Recorder
+	sloEng   *slo.Engine
 
 	// warm tracks the background warm-start per dataset name; warmCtx is
 	// cancelled by Close/Shutdown so an abandoned warm stops mid-solve.
@@ -119,7 +132,9 @@ func NewServerWith(st *store.Store, cacheSize int, maxTimeout time.Duration, wor
 		warm:           make(map[string]string),
 		warmCtx:        warmCtx,
 		warmCancel:     warmCancel,
+		logger:         slog.Default(),
 	}
+	s.sched.SetLogger(s.logger)
 	s.instrument()
 	return s
 }
@@ -152,7 +167,7 @@ func (s *Server) Close() {
 	s.warmCancel()
 	s.sched.Close()
 	if err := s.store.Close(); err != nil {
-		log.Printf("rrmd: closing store: %v", err)
+		s.logger.Error("rrmd: closing store failed", "err", err)
 	}
 }
 
@@ -302,6 +317,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/incidents", s.handleIncidents)
+	mux.HandleFunc("GET /v1/incidents/{id}", s.handleIncident)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/store/status", s.handleStoreStatus)
@@ -400,6 +418,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if reason != "" {
 		body["reason"] = reason
 	}
+	if s.sloEng != nil {
+		// The probe's SLO section is the same Eval the /v1/slo endpoint and
+		// the Prometheus gauges come from, so the three views cannot drift.
+		statuses := s.sloEng.Eval()
+		sloOK := true
+		summary := make([]map[string]any, 0, len(statuses))
+		for _, st := range statuses {
+			if st.FastBurnAlarm {
+				sloOK = false
+			}
+			summary = append(summary, map[string]any{
+				"name":            st.Name,
+				"compliance":      st.Compliance,
+				"burn_rate_fast":  st.BurnRateFast,
+				"fast_burn_alarm": st.FastBurnAlarm,
+			})
+		}
+		body["slo"] = map[string]any{"ok": sloOK, "objectives": summary}
+	}
 	status := http.StatusOK
 	if state != "healthy" {
 		status = http.StatusServiceUnavailable
@@ -479,10 +516,13 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	obs.TraceFrom(r.Context()).Annotate("dataset", name)
+	start := time.Now()
 	if err := s.addDataset(r.Context(), name, ds); err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}
+	s.mutateDur.ObserveSince(start)
 	writeOK(w, http.StatusCreated, info(name, ds))
 }
 
@@ -535,11 +575,14 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	}
 	// The append hits the WAL (per the fsync policy) before the new version
 	// becomes visible; an error means nothing was published.
+	obs.TraceFrom(r.Context()).Annotate("dataset", name)
+	start := time.Now()
 	next, err := s.store.AppendRowsCtx(r.Context(), name, req.Rows, s.retain())
 	if err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}
+	s.mutateDur.ObserveSince(start)
 	writeOK(w, http.StatusOK, mutateResponse{datasetInfo: info(name, next), Appended: len(req.Rows)})
 }
 
@@ -578,11 +621,14 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	obs.TraceFrom(r.Context()).Annotate("dataset", name)
+	start := time.Now()
 	next, err := s.store.DeleteRowsCtx(r.Context(), name, req.IDs, s.retain())
 	if err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}
+	s.mutateDur.ObserveSince(start)
 	// The deleted count is the number of unique ids: exact even if another
 	// mutation raced in between the pre-check and the store call.
 	uniq := make(map[int]struct{}, len(req.IDs))
@@ -758,6 +804,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
+	obs.TraceFrom(r.Context()).Annotate("dataset", req.Dataset)
 	start := time.Now()
 	// Warm hits are answered inline: a cached solution costs microseconds,
 	// so it never waits for (or gets shed by) scheduler admission. Everything
@@ -1127,10 +1174,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 //	DELETE /v1/datasets/{name}
 func (s *Server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	obs.TraceFrom(r.Context()).Annotate("dataset", name)
+	start := time.Now()
 	if err := s.store.DropCtx(r.Context(), name); err != nil {
 		s.writeStoreErr(w, err)
 		return
 	}
+	s.mutateDur.ObserveSince(start)
 	writeOK(w, http.StatusOK, map[string]any{"dropped": name})
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"net/http/httptest"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"github.com/rankregret/rankregret/internal/dataset"
 	"github.com/rankregret/rankregret/internal/engine"
 	"github.com/rankregret/rankregret/internal/loadgen"
+	"github.com/rankregret/rankregret/internal/obs/obstest"
 	"github.com/rankregret/rankregret/internal/xrand"
 )
 
@@ -96,6 +96,7 @@ func TestServingSteadySmoke(t *testing.T) {
 // accepted requests stay bounded, no unexpected 5xx appears, and the process
 // returns to its baseline goroutine count when the storm passes.
 func TestServingOverloadBurst(t *testing.T) {
+	obstest.ExpectNoGoroutineLeak(t, 3)
 	srv, ts := newServingServer(t, -1, 1, 2, engine.Affinity{})
 	srv.QueueWait = 250 * time.Millisecond
 
@@ -108,7 +109,6 @@ func TestServingOverloadBurst(t *testing.T) {
 		// Solve-only pressure: every event competes for the same queue.
 		Mix: loadgen.Mix{Solve: 1},
 	})
-	before := runtime.NumGoroutine()
 	rep, err := loadgen.Run(context.Background(), tr, loadgen.RunConfig{
 		BaseURL:        ts.URL,
 		RequestTimeout: 10 * time.Second,
@@ -137,26 +137,14 @@ func TestServingOverloadBurst(t *testing.T) {
 		t.Fatalf("accepted p99 = %.1fms; queued work must keep its bounded budget", rep.Latency.P99)
 	}
 
-	// Drain and verify the storm leaked nothing: goroutines return to (near)
-	// the pre-run baseline once conns and workers wind down.
+	// Drain; the obstest leak check at the top of the test verifies (after
+	// the cleanups close the server) that the storm's goroutines wind down.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("post-storm drain: %v", err)
 	}
 	ts.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: %d before, %d after drain\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
 }
 
 // TestServingPolicyEquivalence replays one solve/sweep/pinned trace (no

@@ -18,8 +18,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -128,7 +130,51 @@ func run(args []string) error {
 		}
 	}
 	printSummary(rep, *out)
+	printSLO(strings.TrimRight(*url, "/"))
 	return nil
+}
+
+// printSLO fetches GET /v1/slo after the run and summarizes each objective:
+// how the offered load landed against the declared budgets. Older daemons
+// (or ones started without SetupObs) return 404; that is not a run failure.
+func printSLO(baseURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/slo", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var body struct {
+		Objectives []struct {
+			Name          string  `json:"name"`
+			Spec          string  `json:"spec"`
+			Compliance    float64 `json:"compliance"`
+			Budget        float64 `json:"error_budget_remaining"`
+			BurnFast      float64 `json:"burn_rate_fast"`
+			BurnSlow      float64 `json:"burn_rate_slow"`
+			FastBurnAlarm bool    `json:"fast_burn_alarm"`
+		} `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || len(body.Objectives) == 0 {
+		return
+	}
+	fmt.Println("slo:")
+	for _, o := range body.Objectives {
+		alarm := ""
+		if o.FastBurnAlarm {
+			alarm = "   FAST-BURN ALARM"
+		}
+		fmt.Printf("  %-12s %-24s compliance=%.4f budget=%+.2f burn fast=%.1fx slow=%.1fx%s\n",
+			o.Name, o.Spec, o.Compliance, o.Budget, o.BurnFast, o.BurnSlow, alarm)
+	}
 }
 
 // parseMix parses "solve=0.7,sweep=0.1,..." into a Mix; empty means the

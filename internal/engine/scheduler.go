@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/dataset"
@@ -260,6 +262,40 @@ type Scheduler struct {
 	// dequeue policy in effect when the job ran. Wired by Instrument before
 	// the scheduler serves traffic; nil = uninstrumented.
 	obs *schedObs
+
+	// logger receives job-failure records; swapped in atomically (like obs)
+	// because the daemon wires logging after construction. nil = silent.
+	logger atomic.Pointer[slog.Logger]
+}
+
+// SetLogger installs the structured logger job failures are reported to.
+// Every record carries the job id, dataset label, and — when the job was
+// submitted with a trace — the originating request id, so a failure seen in
+// logs is joinable to its trace and incident bundle.
+func (s *Scheduler) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.logger.Store(l)
+	}
+}
+
+// logFailure reports one finished-with-error job. Shutdown sweeps and
+// submitter cancellations are demoted to debug: they describe the caller or
+// the lifecycle, not a fault in the solve.
+func (s *Scheduler) logFailure(j *job, err error) {
+	l := s.logger.Load()
+	if l == nil {
+		return
+	}
+	reqID := ""
+	if j.trace != nil {
+		reqID = j.trace.ID()
+	}
+	args := []any{"job", j.id, "dataset", j.req.Label, "request_id", reqID, "err", err}
+	if errors.Is(err, ErrSchedulerClosed) || errors.Is(err, context.Canceled) {
+		l.Debug("scheduler: job cancelled", args...)
+		return
+	}
+	l.Warn("scheduler: job failed", args...)
 }
 
 // schedObs is the scheduler's latency instrumentation.
@@ -459,6 +495,9 @@ func (s *Scheduler) addRunning(d int64) {
 func (s *Scheduler) finishJob(j *job, sol *Solution, err error) {
 	if !j.finish(sol, err) {
 		return
+	}
+	if err != nil {
+		s.logFailure(j, err)
 	}
 	s.mu.Lock()
 	if err != nil {

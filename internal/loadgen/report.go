@@ -53,6 +53,12 @@ type Sample struct {
 	// Zero against a daemon without GET /metrics.
 	SolveCount uint64  `json:"prom_solve_count,omitempty"`
 	SolveSumMS float64 `json:"prom_solve_sum_ms,omitempty"`
+	// Goroutines and MaxBurnFast ride along from the same scrape: the Go
+	// runtime gauge (rrmd_go_goroutines) and the worst fast-window SLO burn
+	// rate across objectives (rrmd_slo_burn_rate_fast), so a load run's
+	// timeline shows runtime pressure and budget burn next to queue depth.
+	Goroutines  uint64  `json:"goroutines,omitempty"`
+	MaxBurnFast float64 `json:"slo_max_burn_fast,omitempty"`
 }
 
 // Report is the BENCH_serving.json payload: one load run reduced to the

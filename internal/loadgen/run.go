@@ -294,7 +294,7 @@ func (r *runner) sampleMetrics(ctx context.Context, at time.Duration) {
 	if err != nil || status != http.StatusOK {
 		return // a missed sample is a gap in the timeline, not a run failure
 	}
-	solveCount, solveSumMS := r.scrapeProm(sctx)
+	ps := r.scrapeProm(sctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if wm.Scheduler.Policy != "" {
@@ -309,40 +309,63 @@ func (r *runner) sampleMetrics(ctx context.Context, at time.Duration) {
 		VecSetReuses: wm.Engine.VecSets.Reuses,
 		VecSetBuilds: wm.Engine.VecSets.Builds,
 		Rejected:     wm.Scheduler.Rejected,
-		SolveCount:   solveCount,
-		SolveSumMS:   solveSumMS,
+		SolveCount:   ps.solveCount,
+		SolveSumMS:   ps.solveSumMS,
+		Goroutines:   ps.goroutines,
+		MaxBurnFast:  ps.maxBurnFast,
 	})
 }
 
+// promSample is what one strict /metrics scrape contributes to the timeline.
+type promSample struct {
+	solveCount  uint64
+	solveSumMS  float64
+	goroutines  uint64
+	maxBurnFast float64
+}
+
 // scrapeProm samples the daemon's Prometheus surface for the server-side
-// solve-latency histogram, so the timeline carries server-measured latency
-// next to the client-measured one. A daemon without GET /metrics (or an
-// unparseable exposition) just leaves the fields zero — the JSON surface
-// already carried the sample.
-func (r *runner) scrapeProm(ctx context.Context) (count uint64, sumMS float64) {
+// solve-latency histogram, the goroutine gauge, and the worst fast-window SLO
+// burn rate, so the timeline carries server-measured signals next to the
+// client-measured ones. A daemon without GET /metrics (or an unparseable
+// exposition) just leaves the fields zero — the JSON surface already carried
+// the sample.
+func (r *runner) scrapeProm(ctx context.Context) promSample {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/metrics", nil)
 	if err != nil {
-		return 0, 0
+		return promSample{}
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return 0, 0
+		return promSample{}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 0, 0
+		return promSample{}
 	}
 	exp, err := obs.ParseExposition(resp.Body)
 	if err != nil {
 		if r.cfg.Logf != nil {
 			r.cfg.Logf("scrape: /metrics failed validation: %v", err)
 		}
-		return 0, 0
+		return promSample{}
 	}
+	var ps promSample
 	c, _ := exp.Value("rrmd_solve_duration_seconds_count")
 	s, _ := exp.Value("rrmd_solve_duration_seconds_sum")
-	return uint64(c), s * 1000
+	ps.solveCount, ps.solveSumMS = uint64(c), s*1000
+	if g, ok := exp.Value("rrmd_go_goroutines"); ok {
+		ps.goroutines = uint64(g)
+	}
+	if fam := exp.Families["rrmd_slo_burn_rate_fast"]; fam != nil {
+		for _, v := range fam.Series {
+			if v > ps.maxBurnFast {
+				ps.maxBurnFast = v
+			}
+		}
+	}
+	return ps
 }
 
 // fire executes one event and records its outcome.

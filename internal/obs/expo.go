@@ -67,22 +67,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			switch {
 			case s.hist != nil:
-				snap := s.hist.Snapshot()
-				for i, ub := range snap.Bounds {
-					fmt.Fprintf(bw, "%s_bucket{%s} %d\n", f.name,
-						joinLabels(lbl, `le="`+fmtFloat(ub)+`"`), snap.Cumulative[i])
-				}
-				fmt.Fprintf(bw, "%s_bucket{%s} %d\n", f.name, joinLabels(lbl, `le="+Inf"`), snap.Count)
-				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, braced(lbl), fmtFloat(snap.Sum))
-				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, braced(lbl), snap.Count)
+				writeHistogram(bw, f.name, lbl, s.hist.Snapshot())
+			case s.histFn != nil:
+				writeHistogram(bw, f.name, lbl, s.histFn())
 			case s.counter != nil:
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, braced(lbl), s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(lbl), fmtFloat(s.gauge.Value()))
 			case s.fn != nil:
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(lbl), fmtFloat(s.fn()))
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series from its snapshot. The +Inf
+// bucket is always Count, so the parser's +Inf == _count invariant holds for
+// callback-produced snapshots too.
+func writeHistogram(bw *bufio.Writer, name, lbl string, snap HistogramSnapshot) {
+	for i, ub := range snap.Bounds {
+		if i >= len(snap.Cumulative) {
+			break
+		}
+		fmt.Fprintf(bw, "%s_bucket{%s} %d\n", name,
+			joinLabels(lbl, `le="`+fmtFloat(ub)+`"`), snap.Cumulative[i])
+	}
+	fmt.Fprintf(bw, "%s_bucket{%s} %d\n", name, joinLabels(lbl, `le="+Inf"`), snap.Count)
+	fmt.Fprintf(bw, "%s_sum%s %s\n", name, braced(lbl), fmtFloat(snap.Sum))
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, braced(lbl), snap.Count)
 }
 
 func joinLabels(a, b string) string {

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// LogRecord is one captured log line in the flight-recorder ring: the
+// flattened, stringified form of an slog record, cheap to retain and to
+// serialize into an incident bundle.
+type LogRecord struct {
+	Time  time.Time         `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// LogRing is a bounded ring of recent log records. Every record the daemon
+// emits passes through it (see NewLogger), so an incident bundle can carry
+// the log context leading up to the anomaly without the daemon retaining
+// unbounded history.
+type LogRing struct {
+	mu   sync.Mutex
+	buf  []LogRecord
+	next int
+	n    int
+}
+
+// NewLogRing returns a ring holding up to capacity records (minimum 1).
+func NewLogRing(capacity int) *LogRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LogRing{buf: make([]LogRecord, capacity)}
+}
+
+// Append records rec, evicting the oldest when full.
+func (r *LogRing) Append(rec LogRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns up to n records in chronological order (oldest first), the
+// shape a post-mortem reads top to bottom.
+func (r *LogRing) Recent(n int) []LogRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]LogRecord, 0, n)
+	for i := r.n - n; i < r.n; i++ {
+		out = append(out, r.buf[(r.next-r.n+i+2*len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports how many records the ring currently holds.
+func (r *LogRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// ringHandler tees every record into a LogRing on its way to the inner
+// handler, carrying the attrs bound by With so ring records are complete.
+type ringHandler struct {
+	inner slog.Handler
+	ring  *LogRing
+	attrs []slog.Attr
+}
+
+func (h *ringHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *ringHandler) Handle(ctx context.Context, rec slog.Record) error {
+	lr := LogRecord{Time: rec.Time, Level: rec.Level.String(), Msg: rec.Message}
+	if len(h.attrs) > 0 || rec.NumAttrs() > 0 {
+		lr.Attrs = make(map[string]string, len(h.attrs)+rec.NumAttrs())
+		for _, a := range h.attrs {
+			lr.Attrs[a.Key] = a.Value.String()
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			lr.Attrs[a.Key] = a.Value.String()
+			return true
+		})
+	}
+	h.ring.Append(lr)
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &ringHandler{inner: h.inner.WithAttrs(attrs), ring: h.ring, attrs: merged}
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	// Groups are flattened in the ring copy; the inner handler keeps them.
+	return &ringHandler{inner: h.inner.WithGroup(name), ring: h.ring, attrs: h.attrs}
+}
+
+// NewLogger builds the daemon's shared structured logger: format "json"
+// selects JSON records (one object per line, machine-parseable), anything
+// else the human-readable text handler. When ring is non-nil every record is
+// also retained there for incident bundles.
+func NewLogger(w io.Writer, format string, level slog.Leveler, ring *LogRing) *slog.Logger {
+	var h slog.Handler
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	if ring != nil {
+		h = &ringHandler{inner: h, ring: ring}
+	}
+	return slog.New(h)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLogRingEvictionOrder(t *testing.T) {
+	r := NewLogRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(LogRecord{Msg: fmt.Sprintf("m%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Recent(0)
+	if len(got) != 3 || got[0].Msg != "m2" || got[1].Msg != "m3" || got[2].Msg != "m4" {
+		t.Fatalf("recent = %+v, want oldest-first m2 m3 m4", got)
+	}
+	// A bounded tail keeps the newest records, still chronological.
+	got = r.Recent(2)
+	if len(got) != 2 || got[0].Msg != "m3" || got[1].Msg != "m4" {
+		t.Fatalf("recent(2) = %+v, want m3 m4", got)
+	}
+}
+
+func TestNewLoggerJSONAndRingTee(t *testing.T) {
+	ring := NewLogRing(8)
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "json", slog.LevelInfo, ring)
+
+	logger.Debug("dropped")                   // below level: neither output nor ring
+	logger.With("request_id", "abc123").Warn( // With-bound attrs must reach the ring
+		"slow request", "total_ms", 42)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not one JSON object per line: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "slow request" || rec["request_id"] != "abc123" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	recs := ring.Recent(0)
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d records, want 1 (Debug below level must not tee)", len(recs))
+	}
+	lr := recs[0]
+	if lr.Level != "WARN" || lr.Msg != "slow request" {
+		t.Fatalf("ring record = %+v", lr)
+	}
+	if lr.Attrs["request_id"] != "abc123" || lr.Attrs["total_ms"] != "42" {
+		t.Fatalf("ring attrs lost With-bound or inline attrs: %v", lr.Attrs)
+	}
+}
+
+func TestNewLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "text", slog.LevelInfo, nil)
+	logger.Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "msg=hello") || !strings.Contains(out, "k=v") {
+		t.Fatalf("text output = %q", out)
+	}
+	if strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Fatalf("text format produced JSON: %q", out)
+	}
+}

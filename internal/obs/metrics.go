@@ -14,6 +14,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,20 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value (float64 behind an atomic). Use
+// GaugeFunc when a subsystem already owns the value; use Gauge when the
+// metric is computed on a schedule (e.g. SLO evaluations) and must read the
+// same between scrapes.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket latency histogram. Observations are guarded by
 // a mutex (not per-bucket atomics) so a Snapshot — and therefore a Prometheus
@@ -117,7 +132,9 @@ type series struct {
 	labelValue string // "" when the family is unlabeled
 	counter    *Counter
 	hist       *Histogram
-	fn         func() float64 // counterFunc / gaugeFunc callback
+	gauge      *Gauge
+	fn         func() float64           // counterFunc / gaugeFunc callback
+	histFn     func() HistogramSnapshot // histogramFunc callback
 }
 
 // family is one named metric with HELP/TYPE metadata and its series.
@@ -234,6 +251,36 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, typeGauge, "", nil)
 	f.one(func() series { return series{fn: fn} })
+}
+
+// Gauge registers (or fetches) an unlabeled settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, "", nil)
+	return f.one(func() series { return series{gauge: &Gauge{}} }).gauge
+}
+
+// GaugeVec registers a settable gauge family with one label dimension.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, label, nil)}
+}
+
+// GaugeVec is a labeled settable gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.f.with(value, func() series { return series{gauge: &Gauge{}} }).gauge
+}
+
+// HistogramFunc registers a histogram whose whole snapshot is produced by fn
+// at scrape time — the bridge for histograms maintained outside the registry,
+// such as the Go runtime's GC-pause and scheduler-latency distributions. The
+// snapshot must satisfy the exposition invariants: ascending bounds,
+// non-decreasing cumulative counts, and Cumulative values never exceeding
+// Count.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	f := r.register(name, help, typeHistogram, "", nil)
+	f.one(func() series { return series{histFn: fn} })
 }
 
 // Histogram registers (or fetches) an unlabeled histogram with the given

@@ -85,6 +85,53 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGaugeAndHistogramFuncRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_level", "Level.")
+	g.Set(2.5)
+	gv := reg.GaugeVec("test_ratio", "Ratio.", "objective")
+	gv.With("solve_p99").Set(0.999)
+	gv.With("mutate_p99").Set(-0.25) // gauges may go negative
+	src := NewRegistry().Histogram("ignored", "x", []float64{0.1, 1})
+	src.Observe(0.05)
+	src.Observe(5)
+	reg.HistogramFunc("test_fn_seconds", "Read-time histogram.", src.Snapshot)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := exp.Value("test_level"); !ok || v != 2.5 {
+		t.Fatalf("gauge = %v %v", v, ok)
+	}
+	if v, ok := exp.Value(`test_ratio{objective="mutate_p99"}`); !ok || v != -0.25 {
+		t.Fatalf("negative gauge vec = %v %v", v, ok)
+	}
+	if v, ok := exp.Value(`test_fn_seconds_bucket{le="+Inf"}`); !ok || v != 2 {
+		t.Fatalf("histogram-func +Inf bucket = %v %v", v, ok)
+	}
+	if v, ok := exp.Value("test_fn_seconds_count"); !ok || v != 2 {
+		t.Fatalf("histogram-func count = %v %v", v, ok)
+	}
+	if f := exp.Families["test_level"]; f == nil || f.Type != "gauge" {
+		t.Fatalf("gauge family metadata: %+v", f)
+	}
+
+	// Setting the same vec label again updates in place (no new series).
+	gv.With("solve_p99").Set(0.5)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `test_ratio{objective="solve_p99"}`); n != 1 {
+		t.Fatalf("solve_p99 series appears %d times", n)
+	}
+}
+
 func TestParseExpositionRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"sample before TYPE": "foo_total 3\n",
@@ -261,6 +308,44 @@ func TestTraceRing(t *testing.T) {
 	r2.Put(NewTrace("other")) // evicts first; "dup" must still resolve
 	if got, ok := r2.Get("dup"); !ok || got != second {
 		t.Fatal("reused id lost after evicting its older duplicate")
+	}
+}
+
+// TestTraceRingEvictionOrder wraps the ring several times over: eviction
+// must stay strictly FIFO and Recent must stay newest-first across wraps.
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", r.Cap())
+	}
+	ids := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9"}
+	for _, id := range ids {
+		r.Put(NewTrace(id))
+	}
+	// Exactly the 4 newest survive; every older trace is evicted in order.
+	for _, id := range ids[:6] {
+		if _, ok := r.Get(id); ok {
+			t.Fatalf("trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[6:] {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("trace %s missing from ring", id)
+		}
+	}
+	rec := r.Recent(0)
+	want := []string{"t9", "t8", "t7", "t6"}
+	if len(rec) != len(want) {
+		t.Fatalf("recent len = %d, want %d", len(rec), len(want))
+	}
+	for i, w := range want {
+		if rec[i].ID() != w {
+			got := make([]string, len(rec))
+			for j, tr := range rec {
+				got[j] = tr.ID()
+			}
+			t.Fatalf("recent = %v, want %v", got, want)
+		}
 	}
 }
 

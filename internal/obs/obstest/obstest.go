@@ -1,0 +1,75 @@
+// Package obstest holds shared test helpers for observability-sensitive
+// tests: a goroutine-leak check with stack dumps on failure, and an slog
+// adapter over testing.TB.
+package obstest
+
+import (
+	"context"
+	"log/slog"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// ExpectNoGoroutineLeak snapshots the live goroutine count and registers a
+// cleanup that, after the test body (and any cleanups registered later) have
+// run, polls for the count to return to within slack of the baseline. On
+// timeout it fails the test with a full stack dump of every goroutine, which
+// is the evidence needed to find the leaker.
+//
+// Call it first in the test so its cleanup runs last (cleanups run LIFO):
+// servers and stores shut down by later-registered cleanups must already be
+// closed when the check runs.
+func ExpectNoGoroutineLeak(t testing.TB, slack int) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutines leaked: %d -> %d (slack %d)\n%s", before, n, slack, buf)
+	})
+}
+
+// Logger returns a structured logger that writes through t.Logf, so daemon
+// log records interleave with test output and surface only on failure.
+func Logger(t testing.TB) *slog.Logger {
+	return slog.New(&tbHandler{t: t})
+}
+
+type tbHandler struct {
+	t     testing.TB
+	attrs []slog.Attr
+}
+
+func (h *tbHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *tbHandler) Handle(_ context.Context, rec slog.Record) error {
+	line := rec.Level.String() + " " + rec.Message
+	for _, a := range h.attrs {
+		line += " " + a.Key + "=" + a.Value.String()
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		line += " " + a.Key + "=" + a.Value.String()
+		return true
+	})
+	h.t.Log(line)
+	return nil
+}
+
+func (h *tbHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &tbHandler{t: h.t, attrs: append(append([]slog.Attr{}, h.attrs...), attrs...)}
+}
+
+func (h *tbHandler) WithGroup(string) slog.Handler { return h }

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// runtimeBuckets is the fixed exposition layout runtime histograms are
+// folded into: the Go runtime's native bucket boundaries number in the
+// hundreds and differ across Go versions, which would bloat every scrape and
+// make dashboards version-dependent. Sub-10µs through 1s, log-spaced.
+var runtimeBuckets = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1,
+}
+
+// RegisterRuntime registers the Go runtime telemetry families (rrmd_go_*)
+// into reg: heap live/goal gauges, goroutine and GOMAXPROCS gauges, the GC
+// cycle counter, and the GC-pause / scheduler-latency distributions folded
+// into a fixed bucket layout. Every series reads runtime/metrics at scrape
+// time, so the exposition is always current and costs nothing between
+// scrapes. Metrics the running Go version does not provide are skipped.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("rrmd_go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("rrmd_go_gomaxprocs", "GOMAXPROCS: the scheduler's parallel-execution bound.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+
+	gauges := []struct {
+		name, help, sample string
+	}{
+		{"rrmd_go_heap_live_bytes", "Heap memory occupied by live objects after the last GC.", "/gc/heap/live:bytes"},
+		{"rrmd_go_heap_goal_bytes", "Heap size target of the current GC cycle.", "/gc/heap/goal:bytes"},
+		{"rrmd_go_mem_total_bytes", "Total memory mapped by the Go runtime.", "/memory/classes/total:bytes"},
+	}
+	for _, g := range gauges {
+		if name := g.sample; sampleKind(name) == metrics.KindUint64 {
+			reg.GaugeFunc(g.name, g.help, func() float64 { return readUint64(name) })
+		}
+	}
+	if sampleKind("/gc/cycles/total:gc-cycles") == metrics.KindUint64 {
+		reg.CounterFunc("rrmd_go_gc_cycles_total", "Completed GC cycles.",
+			func() float64 { return readUint64("/gc/cycles/total:gc-cycles") })
+	}
+
+	hists := []struct {
+		name, help, sample string
+	}{
+		{"rrmd_go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies.", "/sched/pauses/total/gc:seconds"},
+		{"rrmd_go_sched_latency_seconds", "Distribution of goroutine scheduling latencies (runnable to running).", "/sched/latencies:seconds"},
+	}
+	for _, h := range hists {
+		if name := h.sample; sampleKind(name) == metrics.KindFloat64Histogram {
+			reg.HistogramFunc(h.name, h.help, func() HistogramSnapshot { return readHistogram(name) })
+		}
+	}
+}
+
+// sampleKind probes whether the running Go version provides a runtime metric
+// and with what kind.
+func sampleKind(name string) metrics.ValueKind {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	return s[0].Value.Kind()
+}
+
+func readUint64(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s[0].Value.Uint64())
+}
+
+// readHistogram folds a runtime Float64Histogram into the fixed exposition
+// layout. Each runtime bucket's count lands in the smallest exposition bound
+// at or above its upper boundary (+Inf past the last); the sum is estimated
+// from bucket midpoints, which the strict parser accepts (it checks _sum
+// presence and bucket coherence, not the unknowable exact sum).
+func readHistogram(name string) HistogramSnapshot {
+	snap := HistogramSnapshot{Bounds: runtimeBuckets, Cumulative: make([]uint64, len(runtimeBuckets))}
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return snap
+	}
+	h := s[0].Value.Float64Histogram()
+	perBound := make([]uint64, len(runtimeBuckets))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		// Place by upper boundary: conservative (never reports a latency as
+		// faster than it was) and keeps cumulative counts coherent.
+		j := len(runtimeBuckets)
+		for k, b := range runtimeBuckets {
+			if hi <= b {
+				j = k
+				break
+			}
+		}
+		if j < len(perBound) {
+			perBound[j] += c
+		}
+		snap.Count += c
+		mid := midpoint(lo, hi)
+		snap.Sum += mid * float64(c)
+	}
+	var run uint64
+	for i, c := range perBound {
+		run += c
+		snap.Cumulative[i] = run
+	}
+	return snap
+}
+
+// midpoint estimates a representative value for a bucket, clamping the
+// runtime's infinite edge boundaries.
+func midpoint(lo, hi float64) float64 {
+	if math.IsInf(lo, -1) {
+		lo = 0
+	}
+	if math.IsInf(hi, +1) {
+		hi = lo
+	}
+	return (lo + hi) / 2
+}

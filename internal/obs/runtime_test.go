@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestRuntimeMetricsRoundTrip renders the rrmd_go_* families through the
+// strict exposition parser: histogram coherence (cumulative buckets, +Inf ==
+// _count, _sum present) must hold for the runtime/metrics-folded histograms,
+// and the live gauges must carry sane values.
+func TestRuntimeMetricsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	runtime.GC() // populate GC-derived samples
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of runtime families: %v\n%s", err, buf.String())
+	}
+
+	if v, ok := exp.Value("rrmd_go_goroutines"); !ok || v < 1 {
+		t.Fatalf("rrmd_go_goroutines = %v %v", v, ok)
+	}
+	if v, ok := exp.Value("rrmd_go_gomaxprocs"); !ok || v < 1 {
+		t.Fatalf("rrmd_go_gomaxprocs = %v %v", v, ok)
+	}
+	if v, ok := exp.Value("rrmd_go_heap_live_bytes"); !ok || v <= 0 {
+		t.Fatalf("rrmd_go_heap_live_bytes = %v %v", v, ok)
+	}
+	if v, ok := exp.Value("rrmd_go_gc_cycles_total"); !ok || v < 1 {
+		t.Fatalf("rrmd_go_gc_cycles_total = %v %v (after explicit GC)", v, ok)
+	}
+	// The folded runtime histograms must declare themselves as histograms
+	// and have made it through bucket-coherence validation above.
+	for _, fam := range []string{"rrmd_go_gc_pause_seconds", "rrmd_go_sched_latency_seconds"} {
+		f := exp.Families[fam]
+		if f == nil || f.Type != "histogram" {
+			t.Fatalf("family %s missing or not a histogram: %+v", fam, f)
+		}
+	}
+}

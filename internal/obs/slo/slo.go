@@ -1,0 +1,395 @@
+// Package slo implements a declarative SLO burn-rate engine over the obs
+// histogram registry.
+//
+// An objective is declared as a compact spec — "solve:p99<250ms@99.9" — read
+// as: for the latency source "solve", requests completing under 250ms are
+// good, and the objective targets 99.9% good over the long window. The
+// engine evaluates each objective from the source histogram's cumulative
+// snapshot through three sliding windows (fast/slow/long, default 5m/1h/6h),
+// computing per-window compliance and burn rate. Burn rate is the classic
+// SRE ratio: (observed bad fraction) / (budgeted bad fraction) — 1.0 burns
+// the error budget exactly at the sustainable pace, 14.4 exhausts a 30-day
+// budget in two days. The fast-burn alarm uses the multi-window rule: both
+// the fast and slow windows must exceed the threshold, which rejects
+// short-lived blips without missing sustained burns.
+//
+// Evaluation is pull-driven (the /v1/slo endpoint and the Prometheus scrape
+// path both call Eval), uses an injectable clock, and never blocks request
+// paths: sources are read-time snapshot closures over histograms the request
+// path already maintains.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/obs"
+)
+
+// Objective is one declared latency SLO over a registered source histogram.
+type Objective struct {
+	// Name identifies the objective in metrics labels and JSON; derived
+	// from the spec ("solve_p99") when parsed.
+	Name string
+	// Source names the histogram registered with Engine.Register ("solve").
+	Source string
+	// Spec is the original declaration string, kept for display.
+	Spec string
+	// Quantile is the percentile the spec bounds (0.99 for "p99") —
+	// informational: the SLI is the good-event fraction below Threshold.
+	Quantile float64
+	// ThresholdSeconds is the latency bound separating good from bad.
+	ThresholdSeconds float64
+	// Target is the required good fraction (0.999 for "@99.9").
+	Target float64
+}
+
+// ParseObjective parses a spec of the form "source:pQQ<DUR@TT", e.g.
+// "solve:p99<250ms@99.9" or "scrape:p99.9<50ms@99".
+func ParseObjective(spec string) (Objective, error) {
+	fail := func(why string) (Objective, error) {
+		return Objective{}, fmt.Errorf("slo: bad spec %q: %s (want e.g. \"solve:p99<250ms@99.9\")", spec, why)
+	}
+	src, rest, ok := strings.Cut(spec, ":")
+	if !ok || src == "" {
+		return fail("missing source prefix")
+	}
+	qs, rest, ok := strings.Cut(rest, "<")
+	if !ok || !strings.HasPrefix(qs, "p") {
+		return fail("missing pNN< quantile")
+	}
+	q, err := strconv.ParseFloat(strings.TrimPrefix(qs, "p"), 64)
+	if err != nil || q <= 0 || q >= 100 {
+		return fail("quantile must be in (0, 100)")
+	}
+	ds, ts, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fail("missing @target")
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d <= 0 {
+		return fail("threshold must be a positive duration")
+	}
+	tgt, err := strconv.ParseFloat(ts, 64)
+	if err != nil || tgt <= 0 || tgt >= 100 {
+		return fail("target percent must be in (0, 100)")
+	}
+	name := src + "_" + strings.ReplaceAll(qs, ".", "_")
+	return Objective{
+		Name:             name,
+		Source:           src,
+		Spec:             spec,
+		Quantile:         q / 100,
+		ThresholdSeconds: d.Seconds(),
+		Target:           tgt / 100,
+	}, nil
+}
+
+// DefaultObjectives are the stock objectives rrmd ships with; each is
+// replaced wholesale when the operator declares any objective for the same
+// source.
+func DefaultObjectives() []Objective {
+	specs := []string{
+		"solve:p99<250ms@99.9",
+		"mutate:p99<100ms@99.9",
+		"scrape:p99<50ms@99",
+	}
+	out := make([]Objective, 0, len(specs))
+	for _, s := range specs {
+		o, err := ParseObjective(s)
+		if err != nil {
+			panic(err) // static specs; unreachable
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// WindowStatus is one sliding window's view of an objective.
+type WindowStatus struct {
+	Window     string  `json:"window"`
+	Good       uint64  `json:"good"`
+	Total      uint64  `json:"total"`
+	Compliance float64 `json:"compliance"`
+	BurnRate   float64 `json:"burn_rate"`
+}
+
+// Status is the evaluated state of one objective, the JSON shape served at
+// /v1/slo and the source of the rrmd_slo_* gauges.
+type Status struct {
+	Name                 string         `json:"name"`
+	Source               string         `json:"source"`
+	Spec                 string         `json:"spec"`
+	Target               float64        `json:"target"`
+	ThresholdSeconds     float64        `json:"threshold_seconds"`
+	EffThresholdSeconds  float64        `json:"effective_threshold_seconds"`
+	Compliance           float64        `json:"compliance"`
+	ErrorBudgetRemaining float64        `json:"error_budget_remaining"`
+	BurnRateFast         float64        `json:"burn_rate_fast"`
+	BurnRateSlow         float64        `json:"burn_rate_slow"`
+	FastBurnAlarm        bool           `json:"fast_burn_alarm"`
+	Windows              []WindowStatus `json:"windows"`
+}
+
+// Config tunes an Engine. Zero values select production defaults.
+type Config struct {
+	// Now is the clock (nil = time.Now); injectable for deterministic tests.
+	Now func() time.Time
+	// FastWindow/SlowWindow/LongWindow are the sliding windows
+	// (0 = 5m / 1h / 6h). Compliance and budget are reported over Long.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	LongWindow time.Duration
+	// FastBurnThreshold is the burn rate that, sustained across the fast
+	// AND slow windows, raises the alarm (0 = 14.4: a 30-day budget gone
+	// in two days).
+	FastBurnThreshold float64
+	// MinEvents guards the alarm against tiny samples: the fast window
+	// must contain at least this many events (0 = 10).
+	MinEvents uint64
+	// Registry, when set, receives the rrmd_slo_* gauge families.
+	Registry *obs.Registry
+	// OnFastBurn fires once per alarm rising edge (not per Eval while the
+	// alarm stays raised). Called synchronously from Eval.
+	OnFastBurn func(Status)
+}
+
+type sample struct {
+	t           time.Time
+	good, total uint64
+}
+
+type objState struct {
+	obj     Objective
+	src     func() obs.HistogramSnapshot
+	samples []sample
+	alarmed bool
+}
+
+// Engine evaluates declared objectives against registered sources.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sources map[string]func() obs.HistogramSnapshot
+	objs    []*objState
+
+	gTarget, gCompliance, gBudget *obs.GaugeVec
+	gBurnFast, gBurnSlow, gAlarm  *obs.GaugeVec
+}
+
+// New builds an engine over cfg, registering the rrmd_slo_* gauge families
+// when cfg.Registry is set.
+func New(cfg Config) *Engine {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.FastWindow <= 0 {
+		cfg.FastWindow = 5 * time.Minute
+	}
+	if cfg.SlowWindow <= 0 {
+		cfg.SlowWindow = time.Hour
+	}
+	if cfg.LongWindow <= 0 {
+		cfg.LongWindow = 6 * time.Hour
+	}
+	if cfg.FastBurnThreshold <= 0 {
+		cfg.FastBurnThreshold = 14.4
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = 10
+	}
+	e := &Engine{cfg: cfg, sources: make(map[string]func() obs.HistogramSnapshot)}
+	if r := cfg.Registry; r != nil {
+		e.gTarget = r.GaugeVec("rrmd_slo_target", "Declared SLO target (good-event fraction).", "objective")
+		e.gCompliance = r.GaugeVec("rrmd_slo_compliance", "Good-event fraction over the long window.", "objective")
+		e.gBudget = r.GaugeVec("rrmd_slo_error_budget_remaining", "Fraction of the long-window error budget still unspent (negative when overspent).", "objective")
+		e.gBurnFast = r.GaugeVec("rrmd_slo_burn_rate_fast", "Error-budget burn rate over the fast window (1.0 = sustainable pace).", "objective")
+		e.gBurnSlow = r.GaugeVec("rrmd_slo_burn_rate_slow", "Error-budget burn rate over the slow window.", "objective")
+		e.gAlarm = r.GaugeVec("rrmd_slo_fast_burn_alarm", "1 while the multi-window fast-burn alarm is raised.", "objective")
+	}
+	return e
+}
+
+// Register names a latency source — a read-time snapshot closure over the
+// histogram the request path maintains. Objectives reference sources by name.
+func (e *Engine) Register(source string, fn func() obs.HistogramSnapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sources[source] = fn
+}
+
+// Add declares an objective. The source must already be registered.
+func (e *Engine) Add(o Objective) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	src, ok := e.sources[o.Source]
+	if !ok {
+		known := make([]string, 0, len(e.sources))
+		for k := range e.sources {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("slo: objective %q references unknown source %q (have %s)",
+			o.Spec, o.Source, strings.Join(known, ", "))
+	}
+	for _, st := range e.objs {
+		if st.obj.Name == o.Name {
+			return fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+	}
+	e.objs = append(e.objs, &objState{obj: o, src: src})
+	if e.gTarget != nil {
+		e.gTarget.With(o.Name).Set(o.Target)
+	}
+	return nil
+}
+
+// Objectives returns the declared objectives in declaration order.
+func (e *Engine) Objectives() []Objective {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Objective, len(e.objs))
+	for i, st := range e.objs {
+		out[i] = st.obj
+	}
+	return out
+}
+
+// Eval evaluates every objective at the current clock reading, publishes the
+// rrmd_slo_* gauges, fires OnFastBurn on alarm rising edges, and returns the
+// statuses. The returned slice and the gauges are computed from the same
+// snapshots, so JSON and Prometheus views taken through one Eval agree.
+func (e *Engine) Eval() []Status {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	out := make([]Status, 0, len(e.objs))
+	var fired []Status
+	for _, st := range e.objs {
+		s := e.evalOne(st, now)
+		if s.FastBurnAlarm && !st.alarmed {
+			fired = append(fired, s)
+		}
+		st.alarmed = s.FastBurnAlarm
+		out = append(out, s)
+	}
+	e.mu.Unlock()
+	// Fire outside the lock: the callback typically captures an incident,
+	// which re-renders the registry (and so re-enters gauge reads).
+	if e.cfg.OnFastBurn != nil {
+		for _, s := range fired {
+			e.cfg.OnFastBurn(s)
+		}
+	}
+	return out
+}
+
+// evalOne evaluates a single objective; caller holds e.mu.
+func (e *Engine) evalOne(st *objState, now time.Time) Status {
+	snap := st.src()
+	good, eff := goodCount(snap, st.obj.ThresholdSeconds)
+	total := snap.Count
+	st.samples = append(st.samples, sample{t: now, good: good, total: total})
+	st.samples = prune(st.samples, now.Add(-e.cfg.LongWindow))
+
+	s := Status{
+		Name:                st.obj.Name,
+		Source:              st.obj.Source,
+		Spec:                st.obj.Spec,
+		Target:              st.obj.Target,
+		ThresholdSeconds:    st.obj.ThresholdSeconds,
+		EffThresholdSeconds: eff,
+	}
+	windows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"fast", e.cfg.FastWindow},
+		{"slow", e.cfg.SlowWindow},
+		{"long", e.cfg.LongWindow},
+	}
+	var fastTotal uint64
+	for _, w := range windows {
+		base := baseline(st.samples, now.Add(-w.d))
+		ws := WindowStatus{Window: w.name, Good: good - base.good, Total: total - base.total}
+		ws.Compliance = 1.0
+		if ws.Total > 0 {
+			ws.Compliance = float64(ws.Good) / float64(ws.Total)
+		}
+		ws.BurnRate = (1 - ws.Compliance) / (1 - st.obj.Target)
+		s.Windows = append(s.Windows, ws)
+		switch w.name {
+		case "fast":
+			s.BurnRateFast = ws.BurnRate
+			fastTotal = ws.Total
+		case "slow":
+			s.BurnRateSlow = ws.BurnRate
+		case "long":
+			s.Compliance = ws.Compliance
+			s.ErrorBudgetRemaining = 1 - ws.BurnRate
+		}
+	}
+	s.FastBurnAlarm = fastTotal >= e.cfg.MinEvents &&
+		s.BurnRateFast >= e.cfg.FastBurnThreshold &&
+		s.BurnRateSlow >= e.cfg.FastBurnThreshold
+
+	if e.gCompliance != nil {
+		e.gCompliance.With(s.Name).Set(s.Compliance)
+		e.gBudget.With(s.Name).Set(s.ErrorBudgetRemaining)
+		e.gBurnFast.With(s.Name).Set(s.BurnRateFast)
+		e.gBurnSlow.With(s.Name).Set(s.BurnRateSlow)
+		alarm := 0.0
+		if s.FastBurnAlarm {
+			alarm = 1
+		}
+		e.gAlarm.With(s.Name).Set(alarm)
+	}
+	return s
+}
+
+// goodCount counts events at or below the threshold by snapping it up to the
+// histogram's bucket grid (the smallest bound >= threshold), returning the
+// count and the effective (snapped) threshold. A threshold past the last
+// bound counts every event as good and reports the raw threshold.
+func goodCount(snap obs.HistogramSnapshot, threshold float64) (uint64, float64) {
+	for i, b := range snap.Bounds {
+		if threshold <= b && i < len(snap.Cumulative) {
+			return snap.Cumulative[i], b
+		}
+	}
+	return snap.Count, threshold
+}
+
+// baseline returns the newest sample at or before cutoff — the cumulative
+// state a window's deltas are measured against. With no sample that old the
+// window is partial and deltas are measured from zero (process start).
+func baseline(samples []sample, cutoff time.Time) sample {
+	var base sample
+	for _, s := range samples {
+		if s.t.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	return base
+}
+
+// prune drops samples older than cutoff, keeping the newest such sample as
+// the long-window baseline anchor.
+func prune(samples []sample, cutoff time.Time) []sample {
+	keepFrom := 0
+	for i, s := range samples {
+		if s.t.After(cutoff) {
+			break
+		}
+		keepFrom = i
+	}
+	if keepFrom == 0 {
+		return samples
+	}
+	return append(samples[:0], samples[keepFrom:]...)
+}

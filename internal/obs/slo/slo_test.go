@@ -1,0 +1,343 @@
+package slo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rankregret/rankregret/internal/obs"
+)
+
+func TestParseObjective(t *testing.T) {
+	o, err := ParseObjective("solve:p99<250ms@99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "solve_p99" || o.Source != "solve" {
+		t.Fatalf("name/source = %q/%q", o.Name, o.Source)
+	}
+	if math.Abs(o.Quantile-0.99) > 1e-12 || math.Abs(o.ThresholdSeconds-0.25) > 1e-12 ||
+		math.Abs(o.Target-0.999) > 1e-12 {
+		t.Fatalf("parsed numbers wrong: %+v", o)
+	}
+	if o.Spec != "solve:p99<250ms@99.9" {
+		t.Fatalf("spec not preserved: %q", o.Spec)
+	}
+
+	// Fractional quantiles keep a metrics-safe name.
+	o, err = ParseObjective("scrape:p99.9<50ms@99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "scrape_p99_9" {
+		t.Fatalf("fractional quantile name = %q, want scrape_p99_9", o.Name)
+	}
+
+	for _, bad := range []string{
+		"",
+		"solve",
+		"solve:99<250ms@99.9",   // missing p
+		"solve:p99<250ms",       // missing target
+		"solve:p99@99.9",        // missing threshold
+		":p99<250ms@99.9",       // empty source
+		"solve:p0<250ms@99.9",   // quantile out of range
+		"solve:p100<250ms@99.9", // quantile out of range
+		"solve:p99<-1ms@99.9",   // negative threshold
+		"solve:p99<banana@99.9", // unparseable duration
+		"solve:p99<250ms@0",     // target out of range
+		"solve:p99<250ms@100",   // target out of range
+	} {
+		if _, err := ParseObjective(bad); err == nil {
+			t.Errorf("ParseObjective(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestDefaultObjectives(t *testing.T) {
+	defs := DefaultObjectives()
+	if len(defs) != 3 {
+		t.Fatalf("defaults = %d, want 3", len(defs))
+	}
+	sources := map[string]bool{}
+	for _, o := range defs {
+		sources[o.Source] = true
+	}
+	for _, want := range []string{"solve", "mutate", "scrape"} {
+		if !sources[want] {
+			t.Fatalf("defaults missing source %q (have %v)", want, sources)
+		}
+	}
+}
+
+// fakeSource is a mutable cumulative histogram the tests feed events into.
+type fakeSource struct {
+	bounds []float64
+	counts []uint64 // per-bucket (not cumulative), +Inf last
+	sum    float64
+}
+
+func newFakeSource(bounds ...float64) *fakeSource {
+	return &fakeSource{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe records n events into the bucket for value v.
+func (f *fakeSource) observe(v float64, n uint64) {
+	idx := len(f.bounds)
+	for i, b := range f.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	f.counts[idx] += n
+	f.sum += v * float64(n)
+}
+
+func (f *fakeSource) snapshot() obs.HistogramSnapshot {
+	cum := make([]uint64, len(f.counts))
+	var run uint64
+	for i, c := range f.counts {
+		run += c
+		cum[i] = run
+	}
+	return obs.HistogramSnapshot{
+		Bounds:     append([]float64(nil), f.bounds...),
+		Cumulative: cum,
+		Count:      run,
+		Sum:        f.sum,
+	}
+}
+
+// testEngine builds an engine over a fake clock and a fake "solve" source
+// with compressed windows: fast 1m, slow 5m, long 10m.
+func testEngine(t *testing.T, cfg Config, src *fakeSource, spec string) (*Engine, *time.Time) {
+	t.Helper()
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cfg.Now = func() time.Time { return now }
+	if cfg.FastWindow == 0 {
+		cfg.FastWindow = time.Minute
+	}
+	if cfg.SlowWindow == 0 {
+		cfg.SlowWindow = 5 * time.Minute
+	}
+	if cfg.LongWindow == 0 {
+		cfg.LongWindow = 10 * time.Minute
+	}
+	e := New(cfg)
+	e.Register("solve", src.snapshot)
+	o, err := ParseObjective(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(o); err != nil {
+		t.Fatal(err)
+	}
+	return e, &now
+}
+
+func TestEngineAddErrors(t *testing.T) {
+	e := New(Config{})
+	e.Register("solve", newFakeSource(0.1).snapshot)
+	o, _ := ParseObjective("mutate:p99<100ms@99.9")
+	if err := e.Add(o); err == nil || !strings.Contains(err.Error(), "unknown source") {
+		t.Fatalf("unknown source err = %v", err)
+	}
+	o, _ = ParseObjective("solve:p99<250ms@99.9")
+	if err := e.Add(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Add(o); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if got := e.Objectives(); len(got) != 1 || got[0].Name != "solve_p99" {
+		t.Fatalf("objectives = %+v", got)
+	}
+}
+
+func TestEngineWindowDeltas(t *testing.T) {
+	src := newFakeSource(0.1, 0.25, 1)
+	e, now := testEngine(t, Config{}, src, "solve:p99<250ms@99")
+
+	// 100 good events, then evaluate: full compliance, zero burn.
+	src.observe(0.05, 100)
+	s := e.Eval()[0]
+	if s.Compliance != 1 || s.BurnRateFast != 0 || s.FastBurnAlarm {
+		t.Fatalf("clean window: %+v", s)
+	}
+	if s.EffThresholdSeconds != 0.25 {
+		t.Fatalf("threshold should snap onto the 0.25 bound, got %v", s.EffThresholdSeconds)
+	}
+
+	// 10 bad events land inside the fast window: 110 total, 10 bad.
+	*now = now.Add(30 * time.Second)
+	src.observe(0.9, 10)
+	s = e.Eval()[0]
+	wantCompliance := 100.0 / 110.0
+	if math.Abs(s.Compliance-wantCompliance) > 1e-9 {
+		t.Fatalf("compliance = %v, want %v", s.Compliance, wantCompliance)
+	}
+	// Fast window spans everything so far; burn = badFrac / (1 - target).
+	wantBurn := (10.0 / 110.0) / 0.01
+	if math.Abs(s.BurnRateFast-wantBurn) > 1e-9 {
+		t.Fatalf("fast burn = %v, want %v", s.BurnRateFast, wantBurn)
+	}
+
+	// Advance past the fast window: the bad batch ages out of fast (burn
+	// drops to 0 there) but stays visible in slow and long.
+	*now = now.Add(2 * time.Minute)
+	s = e.Eval()[0]
+	if s.BurnRateFast != 0 {
+		t.Fatalf("aged-out fast burn = %v, want 0", s.BurnRateFast)
+	}
+	if s.BurnRateSlow == 0 {
+		t.Fatalf("slow burn lost the bad batch: %+v", s)
+	}
+	if math.Abs(s.Compliance-wantCompliance) > 1e-9 {
+		t.Fatalf("long compliance = %v, want %v", s.Compliance, wantCompliance)
+	}
+
+	// Advance past the long window: everything ages out, budget restored.
+	*now = now.Add(11 * time.Minute)
+	s = e.Eval()[0]
+	if s.Compliance != 1 || s.ErrorBudgetRemaining != 1 {
+		t.Fatalf("after long window: %+v", s)
+	}
+}
+
+func TestEngineThresholdPastLastBound(t *testing.T) {
+	src := newFakeSource(0.1, 0.25)
+	e, _ := testEngine(t, Config{}, src, "solve:p99<10s@99")
+	src.observe(5, 50) // +Inf bucket, still under the 10s threshold
+	s := e.Eval()[0]
+	if s.Compliance != 1 {
+		t.Fatalf("threshold past last bound must count all events good: %+v", s)
+	}
+	if s.EffThresholdSeconds != 10 {
+		t.Fatalf("effective threshold = %v, want raw 10", s.EffThresholdSeconds)
+	}
+}
+
+func TestEngineFastBurnAlarmRisingEdge(t *testing.T) {
+	src := newFakeSource(0.1)
+	var fired []Status
+	e, now := testEngine(t, Config{
+		MinEvents:  5,
+		OnFastBurn: func(s Status) { fired = append(fired, s) },
+	}, src, "solve:p99<100ms@99")
+
+	// Everything bad: burn = 100x, way past 14.4 in both windows.
+	src.observe(2, 20)
+	s := e.Eval()[0]
+	if !s.FastBurnAlarm {
+		t.Fatalf("alarm should raise: %+v", s)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnFastBurn fired %d times, want 1", len(fired))
+	}
+
+	// Alarm persists across Evals without re-firing the callback.
+	*now = now.Add(10 * time.Second)
+	src.observe(2, 5)
+	if s = e.Eval()[0]; !s.FastBurnAlarm {
+		t.Fatalf("alarm should stay raised: %+v", s)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnFastBurn re-fired while raised: %d", len(fired))
+	}
+
+	// Burn stops; the bad batch ages out of the fast window and the alarm
+	// clears (slow still shows it, but the multi-window rule needs both).
+	*now = now.Add(2 * time.Minute)
+	if s = e.Eval()[0]; s.FastBurnAlarm {
+		t.Fatalf("alarm should clear once fast window is clean: %+v", s)
+	}
+
+	// A fresh burn is a new rising edge.
+	*now = now.Add(10 * time.Second)
+	src.observe(2, 20)
+	if s = e.Eval()[0]; !s.FastBurnAlarm {
+		t.Fatalf("second burn should re-raise: %+v", s)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("OnFastBurn fired %d times across two edges, want 2", len(fired))
+	}
+}
+
+func TestEngineMinEventsGuard(t *testing.T) {
+	src := newFakeSource(0.1)
+	e, _ := testEngine(t, Config{MinEvents: 50}, src, "solve:p99<100ms@99")
+	// 10 events, all bad — massive burn rate, but below the event floor.
+	src.observe(2, 10)
+	s := e.Eval()[0]
+	if s.BurnRateFast < 14.4 {
+		t.Fatalf("test premise broken: burn = %v", s.BurnRateFast)
+	}
+	if s.FastBurnAlarm {
+		t.Fatalf("alarm raised on %d events with MinEvents=50", s.Windows[0].Total)
+	}
+}
+
+func TestEngineGaugesMatchStatuses(t *testing.T) {
+	reg := obs.NewRegistry()
+	src := newFakeSource(0.1, 0.25)
+	e, _ := testEngine(t, Config{Registry: reg, MinEvents: 5}, src, "solve:p99<250ms@99")
+	src.observe(0.05, 90)
+	src.observe(2, 10)
+	s := e.Eval()[0]
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse: %v\n%s", err, buf.String())
+	}
+	series := func(fam string) float64 {
+		v, ok := exp.Value(fam + `{objective="solve_p99"}`)
+		if !ok {
+			t.Fatalf("missing %s series:\n%s", fam, buf.String())
+		}
+		return v
+	}
+	if got := series("rrmd_slo_target"); got != 0.99 {
+		t.Fatalf("target gauge = %v", got)
+	}
+	if got := series("rrmd_slo_compliance"); math.Abs(got-s.Compliance) > 1e-9 {
+		t.Fatalf("compliance gauge %v != status %v", got, s.Compliance)
+	}
+	if got := series("rrmd_slo_burn_rate_fast"); math.Abs(got-s.BurnRateFast) > 1e-9 {
+		t.Fatalf("fast burn gauge %v != status %v", got, s.BurnRateFast)
+	}
+	if got := series("rrmd_slo_error_budget_remaining"); math.Abs(got-s.ErrorBudgetRemaining) > 1e-9 {
+		t.Fatalf("budget gauge %v != status %v", got, s.ErrorBudgetRemaining)
+	}
+	wantAlarm := 0.0
+	if s.FastBurnAlarm {
+		wantAlarm = 1
+	}
+	if got := series("rrmd_slo_fast_burn_alarm"); got != wantAlarm {
+		t.Fatalf("alarm gauge = %v, want %v", got, wantAlarm)
+	}
+}
+
+func TestEngineSamplePruning(t *testing.T) {
+	src := newFakeSource(0.1)
+	e, now := testEngine(t, Config{}, src, "solve:p99<100ms@99")
+	// Two hours of 10s-interval evals must not grow the sample ring past
+	// the long window (plus the single baseline anchor).
+	for i := 0; i < 720; i++ {
+		*now = now.Add(10 * time.Second)
+		src.observe(0.05, 1)
+		e.Eval()
+	}
+	e.mu.Lock()
+	n := len(e.objs[0].samples)
+	e.mu.Unlock()
+	// 10-minute long window at one sample per 10s = 60 live + 1 anchor.
+	if n > 62 {
+		t.Fatalf("sample ring grew unbounded: %d entries", n)
+	}
+}

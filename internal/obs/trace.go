@@ -37,6 +37,7 @@ type Trace struct {
 	mu       sync.Mutex
 	spans    []Span
 	stack    []openSpan
+	attrs    map[string]string
 	total    time.Duration
 	finished bool
 }
@@ -130,6 +131,31 @@ func (t *Trace) Finish() time.Duration {
 	return t.total
 }
 
+// Annotate attaches a key=value annotation to the trace — e.g. the dataset a
+// solve touched — so logs, incident bundles, and the trace endpoint can
+// correlate a request id with what it operated on. Later values win.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil || key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string)
+	}
+	t.attrs[key] = value
+}
+
+// Annotation returns one annotation's value ("" when unset).
+func (t *Trace) Annotation(key string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attrs[key]
+}
+
 // SpanCount reports how many spans have been recorded.
 func (t *Trace) SpanCount() int {
 	if t == nil {
@@ -142,11 +168,12 @@ func (t *Trace) SpanCount() int {
 
 // TraceSnapshot is the JSON shape served at /v1/trace/{id}.
 type TraceSnapshot struct {
-	ID       string    `json:"id"`
-	Started  time.Time `json:"started"`
-	TotalMS  float64   `json:"total_ms"`
-	Finished bool      `json:"finished"`
-	Spans    []Span    `json:"spans"`
+	ID       string            `json:"id"`
+	Started  time.Time         `json:"started"`
+	TotalMS  float64           `json:"total_ms"`
+	Finished bool              `json:"finished"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Spans    []Span            `json:"spans"`
 }
 
 // Snapshot returns a copy of the trace state, spans sorted by start time.
@@ -159,11 +186,19 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	if !t.finished {
 		total = time.Since(t.start)
 	}
+	var attrs map[string]string
+	if len(t.attrs) > 0 {
+		attrs = make(map[string]string, len(t.attrs))
+		for k, v := range t.attrs {
+			attrs[k] = v
+		}
+	}
 	return TraceSnapshot{
 		ID:       t.id,
 		Started:  t.start,
 		TotalMS:  ms(total),
 		Finished: t.finished,
+		Attrs:    attrs,
 		Spans:    spans,
 	}
 }
@@ -275,6 +310,9 @@ func (r *TraceRing) Recent(n int) []*Trace {
 	}
 	return out
 }
+
+// Cap reports how many traces the ring can hold.
+func (r *TraceRing) Cap() int { return r.cap }
 
 // Len reports how many traces the ring currently holds.
 func (r *TraceRing) Len() int {

@@ -10,13 +10,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"github.com/rankregret/rankregret/internal/faultfs"
+	"github.com/rankregret/rankregret/internal/obs/obstest"
 )
 
 // waitHealthy polls until the healer brings the store back, or fails the
@@ -96,7 +96,7 @@ func TestDegradeServeHeal(t *testing.T) {
 // backoff schedule — not wait for a record threshold a mutation-rejecting
 // store can never reach. Recovery leaves no tmp debris and no goroutines.
 func TestSnapshotENOSPCDegradesAndHeals(t *testing.T) {
-	before := runtime.NumGoroutine()
+	obstest.ExpectNoGoroutineLeak(t, 3)
 	dir := t.TempDir()
 	inj := faultfs.New(faultfs.Disk, 1)
 	// The first two snapshot persists hit ENOSPC (the automatic one and the
@@ -151,13 +151,8 @@ func TestSnapshotENOSPCDegradesAndHeals(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatalf("close after heal: %v", err)
 	}
-	deadline = time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before+3 {
-		t.Fatalf("goroutines leaked across degrade/heal/close: %d -> %d", before, n)
-	}
+	// The obstest leak check registered at the top verifies (after cleanups)
+	// that no goroutine survived the degrade/heal/close cycle.
 }
 
 // TestTornWriteHeals: a torn append (prefix reaches the disk, then the

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -113,9 +114,9 @@ const snapTmpSuffix = ".tmp"
 // mid-snapshot, which the atomic-rename protocol otherwise leaves on disk
 // forever. Called from Open, before any new snapshot can be in flight, so
 // every snap-*.snap.tmp present is guaranteed stale. Returns how many were
-// removed; removal failures are reported to logf and otherwise ignored (a
+// removed; removal failures are reported to log and otherwise ignored (a
 // stale tmp is inert — the next sweep retries).
-func sweepSnapshotTmp(fs faultfs.FS, dir string, logf func(string, ...any)) int {
+func sweepSnapshotTmp(fs faultfs.FS, dir string, log *slog.Logger) int {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0
@@ -130,7 +131,7 @@ func sweepSnapshotTmp(fs faultfs.FS, dir string, logf func(string, ...any)) int 
 			continue // not ours; leave foreign files alone
 		}
 		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
-			logf("store: sweeping stale snapshot tmp %s: %v", name, err)
+			log.Warn("store: sweeping stale snapshot tmp failed", "file", name, "err", err)
 			continue
 		}
 		removed++

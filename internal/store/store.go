@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -128,8 +129,9 @@ type Options struct {
 	// HealMaxBackoff (0 = 5s).
 	HealBackoff    time.Duration
 	HealMaxBackoff time.Duration
-	// Logf, when set, receives recovery and pruning diagnostics.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives recovery, degradation, and pruning
+	// diagnostics as structured records (nil = discard).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -154,8 +156,8 @@ func (o Options) withDefaults() Options {
 	if o.HealMaxBackoff <= 0 {
 		o.HealMaxBackoff = 5 * time.Second
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -347,6 +349,29 @@ type Store struct {
 	// obsv is the latency instrumentation (see Instrument), swapped in
 	// atomically because the sync/heal loops run before metrics are wired.
 	obsv atomic.Pointer[storeObs]
+
+	// healthCB is the health-transition hook (see OnHealthChange), swapped
+	// in atomically for the same late-wiring reason as obsv.
+	healthCB atomic.Pointer[func(HealthState)]
+}
+
+// OnHealthChange installs fn to be called on every health transition
+// (healthy -> degraded and back). Like Instrument, it is wired after Open —
+// the serving layer's flight recorder does not exist yet when the store
+// opens. fn runs on its own goroutine, never under store locks, so it may
+// freely call back into the store (e.g. to snapshot Health for an incident
+// bundle). Transitions are rare (fault and heal), so ordering between a
+// degrade and an immediately following heal is preserved only by the
+// timestamps fn observes, not by delivery order.
+func (st *Store) OnHealthChange(fn func(HealthState)) {
+	st.healthCB.Store(&fn)
+}
+
+// notifyHealth fires the health hook, if installed. Safe under st.mu.
+func (st *Store) notifyHealth(state HealthState) {
+	if cb := st.healthCB.Load(); cb != nil {
+		go (*cb)(state)
+	}
 }
 
 // Open recovers (or initializes) a store over opts.Dir: load the newest
@@ -362,8 +387,8 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
-	if n := sweepSnapshotTmp(opts.FS, opts.Dir, opts.Logf); n > 0 {
-		opts.Logf("store: swept %d stale snapshot tmp file(s)", n)
+	if n := sweepSnapshotTmp(opts.FS, opts.Dir, opts.Logger); n > 0 {
+		opts.Logger.Info("store: swept stale snapshot tmp files", "count", n)
 	}
 	startSeq, err := st.loadLatestSnapshot()
 	if err != nil {
@@ -413,7 +438,7 @@ func Open(opts Options) (*Store, error) {
 			// The replayed WAL is complete and intact; the snapshot was a
 			// replay-cost optimization. finishCutLocked has already degraded
 			// the store; the healer retries once it starts below.
-			st.opts.Logf("store: boot snapshot failed, opening degraded: %v", err)
+			st.opts.Logger.Warn("store: boot snapshot failed, opening degraded", "err", err)
 		}
 	}
 	if opts.Sync == SyncInterval {
@@ -436,12 +461,12 @@ func (st *Store) loadLatestSnapshot() (uint64, error) {
 		seq := seqs[i]
 		payload, err := readSnapshot(st.opts.Dir, seq)
 		if err != nil {
-			st.opts.Logf("store: snapshot %d unusable (%v), falling back", seq, err)
+			st.opts.Logger.Warn("store: snapshot unusable, falling back", "seq", seq, "err", err)
 			continue
 		}
 		reg, err := decodeRegistry(payload)
 		if err != nil {
-			st.opts.Logf("store: snapshot %d undecodable (%v), falling back", seq, err)
+			st.opts.Logger.Warn("store: snapshot undecodable, falling back", "seq", seq, "err", err)
 			continue
 		}
 		st.reg = reg
@@ -467,12 +492,13 @@ func (st *Store) replayWAL(startSeq uint64) (uint64, error) {
 		ev, err := decodeEvent(payload)
 		if err != nil {
 			st.recovery.RecordsSkipped++
-			st.opts.Logf("store: replay halted at undecodable WAL record: %v", err)
+			st.opts.Logger.Warn("store: replay halted at undecodable WAL record", "err", err)
 			return errHaltReplay
 		}
 		if _, err := st.applyEvent(ev, st.opts.Retain); err != nil {
 			st.recovery.RecordsSkipped++
-			st.opts.Logf("store: replay halted at unappliable WAL %s(%s): %v", ev.Kind, ev.Name, err)
+			st.opts.Logger.Warn("store: replay halted at unappliable WAL record",
+				"kind", ev.Kind, "dataset", ev.Name, "err", err)
 			return errHaltReplay
 		}
 		return nil
@@ -488,10 +514,10 @@ func (st *Store) replayWAL(startSeq uint64) (uint64, error) {
 	st.recovery.TornTail = stats.torn
 	st.recovery.SegmentGap = stats.gap
 	if stats.torn {
-		st.opts.Logf("store: discarded torn WAL tail at segment %d offset %d", stats.tornSeq, stats.tornOff)
+		st.opts.Logger.Warn("store: discarded torn WAL tail", "segment", stats.tornSeq, "offset", stats.tornOff)
 	}
 	if stats.gap {
-		st.opts.Logf("store: WAL segment sequence gap before segment %d; later segments ignored", stats.tornSeq)
+		st.opts.Logger.Warn("store: WAL segment sequence gap; later segments ignored", "segment", stats.tornSeq)
 	}
 	maxSeq := startSeq
 	if seqs, err := listSeqs(st.opts.Dir, segPrefix, segSuffix); err == nil && len(seqs) > 0 {
@@ -651,7 +677,8 @@ func (st *Store) enterDegradedLocked(reason string, err error) {
 	st.degradedReason = reason
 	st.degradedDetail = err.Error()
 	st.degradedSince = time.Now()
-	st.opts.Logf("store: entering degraded (%s): %v", reason, err)
+	st.opts.Logger.Error("store: entering degraded", "reason", reason, "err", err)
+	st.notifyHealth(HealthDegraded)
 	if st.healKick != nil {
 		select {
 		case st.healKick <- struct{}{}:
@@ -691,7 +718,7 @@ func (st *Store) maybeSnapshotLocked(ctx context.Context) {
 		// wedged, not just the snapshot.
 		st.snapErr = err
 		st.enterDegradedLocked(ReasonWALFailed, err)
-		st.opts.Logf("store: snapshot cut failed: %v", err)
+		st.opts.Logger.Error("store: snapshot cut failed", "err", err)
 		return
 	}
 	st.snapInFlight = true
@@ -746,7 +773,7 @@ func (st *Store) finishCutLocked(seq uint64, err error) error {
 		// record threshold — which a degraded store would never reach, since
 		// it rejects mutations.
 		st.enterDegradedLocked(ReasonSnapshotError, err)
-		st.opts.Logf("store: snapshot %d failed (healer retries): %v", seq, err)
+		st.opts.Logger.Error("store: snapshot failed (healer retries)", "seq", seq, "err", err)
 		return err
 	}
 	prev := st.snapSeq
@@ -775,12 +802,12 @@ func (st *Store) awaitSnapshotLocked() {
 // the tracked WAL total in step with the disk.
 func (st *Store) pruneBelow(keep uint64) {
 	if _, _, err := removeBelow(st.opts.FS, st.opts.Dir, snapPrefix, snapSuffix, keep); err != nil {
-		st.opts.Logf("store: pruning snapshots: %v", err)
+		st.opts.Logger.Warn("store: pruning snapshots failed", "err", err)
 	}
 	_, bytes, err := removeBelow(st.opts.FS, st.opts.Dir, segPrefix, segSuffix, keep)
 	st.walBytes -= bytes
 	if err != nil {
-		st.opts.Logf("store: pruning WAL segments: %v", err)
+		st.opts.Logger.Warn("store: pruning WAL segments failed", "err", err)
 	}
 }
 
@@ -820,7 +847,7 @@ func (st *Store) syncLoop() {
 				st.mu.Unlock()
 			}
 			if msg != lastErr && msg != "" {
-				st.opts.Logf("store: interval sync: %v", err)
+				st.opts.Logger.Error("store: interval sync failed", "err", err)
 			}
 			lastErr = msg
 		}
@@ -901,7 +928,7 @@ func (st *Store) tryHeal() bool {
 	w, err := openWALWriter(st.opts.FS, st.opts.Dir, newSeq)
 	if err != nil {
 		st.mu.Unlock()
-		st.opts.Logf("store: heal attempt %d: opening fresh segment: %v", attempt, err)
+		st.opts.Logger.Warn("store: heal attempt failed opening fresh segment", "attempt", attempt, "err", err)
 		return false
 	}
 	// Carry the lifetime counters so records/syncs never go backwards in
@@ -934,9 +961,11 @@ func (st *Store) tryHeal() bool {
 	}
 	st.healSuccesses++
 	st.health = HealthHealthy
-	st.opts.Logf("store: healed after %v degraded (%s); WAL continues at segment %d",
-		time.Since(st.degradedSince).Round(time.Millisecond), st.degradedReason, seq)
+	st.opts.Logger.Info("store: healed",
+		"degraded_for", time.Since(st.degradedSince).Round(time.Millisecond),
+		"reason", st.degradedReason, "segment", seq)
 	st.degradedReason, st.degradedDetail, st.degradedSince = "", "", time.Time{}
+	st.notifyHealth(HealthHealthy)
 	return true
 }
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Bench compare: diff a fresh engine benchmark against the committed baseline
+# so the perf trajectory is visible per commit. Cases are keyed by
+# dataset+algorithm; cold_ms and vecset_reuse_ms are compared, and a >20%
+# regression prints a loud warning — it does NOT fail the build, because CI
+# runner noise on shared machines routinely exceeds that for sub-10ms cases.
+# Humans (and the PR timeline) read the warnings; a real regression shows up
+# consistently, noise does not.
+#
+#   scripts/bench_compare.sh BENCH_engine_procs1.json [baseline.json]
+#
+# Exit status is 0 unless the inputs are unreadable or schema-incompatible.
+set -euo pipefail
+
+FRESH="${1:?usage: bench_compare.sh fresh.json [baseline.json]}"
+BASELINE="${2:-BENCH_engine.json}"
+THRESH_PCT="${THRESH_PCT:-20}"
+
+for f in "$FRESH" "$BASELINE"; do
+  if ! jq -e '.cases | length > 0' "$f" >/dev/null; then
+    echo "bench_compare: $f has no benchmark cases" >&2
+    exit 1
+  fi
+done
+
+echo "bench compare: $FRESH vs baseline $BASELINE (warn at >${THRESH_PCT}%)"
+
+WARNINGS=0
+# One line per (case, metric) present in both files: "key metric base fresh".
+while read -r key metric base fresh; do
+  # Percent delta, computed in awk to keep the script bc-free.
+  pct=$(awk -v b="$base" -v f="$fresh" 'BEGIN {
+    if (b <= 0) { print "0"; exit }
+    printf "%.1f", (f - b) / b * 100
+  }')
+  flag=""
+  if awk -v p="$pct" -v t="$THRESH_PCT" 'BEGIN { exit !(p > t) }'; then
+    flag="   <-- WARNING: >${THRESH_PCT}% regression"
+    WARNINGS=$((WARNINGS + 1))
+  fi
+  printf '  %-28s %-16s %10.3fms -> %10.3fms  %+6s%%%s\n' \
+    "$key" "$metric" "$base" "$fresh" "$pct" "$flag"
+done < <(jq -rn --slurpfile base "$BASELINE" --slurpfile fresh "$FRESH" '
+  def cases(x): x[0].cases | map({key: (.dataset + "/" + .algorithm), value: .}) | from_entries;
+  cases($base) as $b | cases($fresh) as $f |
+  ($b | keys[]) as $k | select($f[$k] != null) |
+  (["cold_ms", "vecset_reuse_ms"][]) as $m |
+  select(($b[$k][$m] != null) and ($f[$k][$m] != null)) |
+  "\($k) \($m) \($b[$k][$m]) \($f[$k][$m])"
+')
+
+if [ "$WARNINGS" -gt 0 ]; then
+  echo "bench_compare: $WARNINGS metric(s) regressed >${THRESH_PCT}% vs baseline (warning only, not failing the build)"
+else
+  echo "bench_compare: no regression beyond ${THRESH_PCT}%"
+fi

@@ -36,9 +36,14 @@ EOF
 
 # Explicit pool shape so the smoke behaves the same on any runner: a small
 # worker pool, a bounded queue, and a short queue-wait budget so overload
-# sheds promptly with 429s instead of letting requests rot.
+# sheds promptly with 429s instead of letting requests rot. The observability
+# surface runs in anger: JSON logs, a deliberately unmeetable solve SLO plus
+# a hair-trigger slow-request threshold so the burst scenario trips the
+# fast-burn alarm and the flight recorder captures bundles we can assert on.
 "$WORK/rrmd" -addr "$ADDR" -policy affinity -workers 4 -queue 64 \
-  -queue-wait 2s -load "pair=$WORK/pair.csv" -load "cars=$WORK/cars.csv" &
+  -queue-wait 2s -load "pair=$WORK/pair.csv" -load "cars=$WORK/cars.csv" \
+  -log-format json -slo "solve:p99<1ms@99" -trace-slow 250ms \
+  -incident-dir "$WORK/incidents" 2> "$WORK/rrmd.log" &
 PID=$!
 for _ in $(seq 1 100); do
   curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
@@ -58,8 +63,10 @@ echo "== steady scenario =="
 # strict exposition parser. The scrape is kept as a CI artifact either way.
 echo "== /metrics scrape =="
 curl -sf "$BASE/metrics" -o BENCH_metrics_scrape.txt
+# rrmd_slo and rrmd_go_ are prefix entries: each requires its whole family
+# group (the SLO gauges and the Go runtime collector) to be present.
 "$WORK/promcheck" -require \
-  rrmd_solve_duration_seconds,rrmd_solve_stage_duration_seconds,rrmd_queue_wait_seconds,rrmd_run_duration_seconds,rrmd_cache_hits_total,rrmd_vecset_builds_total,rrmd_wal_fsync_seconds,rrmd_snapshot_cut_seconds \
+  rrmd_solve_duration_seconds,rrmd_solve_stage_duration_seconds,rrmd_queue_wait_seconds,rrmd_run_duration_seconds,rrmd_cache_hits_total,rrmd_vecset_builds_total,rrmd_wal_fsync_seconds,rrmd_snapshot_cut_seconds,rrmd_slo,rrmd_go_ \
   BENCH_metrics_scrape.txt
 SOLVES=$(grep -c '^rrmd_solve_duration_seconds_bucket' BENCH_metrics_scrape.txt || true)
 if [ "$SOLVES" -eq 0 ]; then
@@ -72,6 +79,32 @@ echo "== burst scenario =="
   -rate 8 -burst-rate 120 -burst-period 3s -burst-len 1s \
   -duration "${BURST_SECS}s" -timeout 15s -max-samples 400 \
   -out BENCH_serving_burst.json
+
+# The burst ran against an unmeetable 1ms solve objective and a 250ms
+# slow-request threshold, so the flight recorder must hold at least one
+# incident. The newest bundle is kept as a CI artifact and must carry its
+# post-mortem payloads (goroutine profile, metrics snapshot with the SLO
+# gauges). Anomaly log records under load must carry request correlation.
+echo "== slo + incident capture =="
+curl -sf "$BASE/v1/slo" | jq -r \
+  '.objectives[] | "\(.name): compliance=\(.compliance) burn_fast=\(.burn_rate_fast) alarm=\(.fast_burn_alarm)"'
+INC_ID=$(curl -sf "$BASE/v1/incidents" | jq -r '.incidents[0].id // empty')
+if [ -z "$INC_ID" ]; then
+  echo "no incident captured under burst (expected slow_request captures at -trace-slow 250ms)" >&2
+  exit 1
+fi
+curl -sf "$BASE/v1/incidents/$INC_ID" -o BENCH_incident_bundle.json
+jq -e '.goroutines | contains("goroutine profile:")' BENCH_incident_bundle.json >/dev/null
+jq -e '.metrics | contains("rrmd_slo_")' BENCH_incident_bundle.json >/dev/null
+echo "incident $INC_ID: trigger=$(jq -r .trigger BENCH_incident_bundle.json)" \
+  "request_id=$(jq -r '.request_id // "-"' BENCH_incident_bundle.json)"
+if grep -q '"msg":"rrmd: slow request"' "$WORK/rrmd.log"; then
+  if grep '"msg":"rrmd: slow request"' "$WORK/rrmd.log" | grep -qv '"request_id":"'; then
+    echo "slow-request log records missing request_id:" >&2
+    grep '"msg":"rrmd: slow request"' "$WORK/rrmd.log" | grep -v '"request_id":"' | head >&2
+    exit 1
+  fi
+fi
 
 echo "== assertions =="
 for f in BENCH_serving_steady.json BENCH_serving_burst.json; do
